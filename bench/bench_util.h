@@ -1,0 +1,55 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary prints: a header identifying the paper artifact it
+// regenerates, an aligned table with the same series the paper plots,
+// and a short note describing the expected (paper) shape. Each bench
+// also writes a CSV (named after the figure) into the working
+// directory for plotting.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "core/config.h"
+#include "core/experiment.h"
+#include "core/metrics.h"
+
+namespace hicc::bench {
+
+/// Prints the standard bench header.
+inline void header(const std::string& artifact, const std::string& what,
+                   const std::string& paper_shape) {
+  std::cout << "==============================================================\n"
+            << artifact << " -- " << what << "\n"
+            << "Paper shape: " << paper_shape << "\n"
+            << "==============================================================\n";
+}
+
+/// Runs one configuration and returns its metrics.
+inline Metrics run(const ExperimentConfig& cfg) {
+  Experiment exp(cfg);
+  return exp.run();
+}
+
+/// Prints the table and saves it as CSV; reports the CSV path.
+inline void finish(const Table& table, const std::string& csv_name) {
+  table.print(std::cout, 3);
+  if (table.save_csv(csv_name)) {
+    std::cout << "(series written to " << csv_name << ")\n";
+  }
+  std::cout << std::endl;
+}
+
+/// Short-run defaults shared by the figure benches: long enough for the
+/// congestion-control sawtooth to reach steady state, short enough that
+/// a full figure regenerates in tens of seconds.
+inline ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.warmup = TimePs::from_ms(10);
+  cfg.measure = TimePs::from_ms(20);
+  return cfg;
+}
+
+}  // namespace hicc::bench

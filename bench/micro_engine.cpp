@@ -1,0 +1,95 @@
+// Engine micro-benchmarks (google-benchmark): the hot paths that bound
+// how much simulated traffic per wall-second the harness can sustain.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "iommu/lru_cache.h"
+#include "mem/memory_system.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace hicc;
+using namespace hicc::literals;
+
+/// Event queue: schedule + run one event (the per-TLP cost floor).
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  sim::Simulator sim;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    sim.at(TimePs(t += 100), [] {});
+    sim.run_one();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+/// Event queue under depth: 1k pending events.
+void BM_SimulatorDeepQueue(benchmark::State& state) {
+  sim::Simulator sim;
+  std::int64_t t = 0;
+  for (int i = 0; i < 1000; ++i) sim.at(TimePs(t += 1000), [] {});
+  for (auto _ : state) {
+    sim.at(TimePs(t += 1000), [] {});
+    sim.run_one();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorDeepQueue);
+
+/// IOTLB lookup hit (the per-TLP translation fast path).
+void BM_IotlbLookupHit(benchmark::State& state) {
+  iommu::LruCache<std::uint64_t> cache(1, 128);
+  for (std::uint64_t i = 0; i < 128; ++i) cache.insert(i);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(key));
+    key = (key + 1) % 128;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IotlbLookupHit);
+
+/// IOTLB thrash (insert + evict on every access).
+void BM_IotlbThrash(benchmark::State& state) {
+  iommu::LruCache<std::uint64_t> cache(1, 128);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    if (!cache.lookup(key)) cache.insert(key);
+    key = (key + 1) % 512;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IotlbThrash);
+
+/// Discrete memory request sampling.
+void BM_MemoryRequest(benchmark::State& state) {
+  sim::Simulator sim;
+  mem::MemorySystem mem(sim, mem::DramParams{}, Rng(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.request(mem::MemClass::kNicDma, 256_B, false));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MemoryRequest);
+
+/// Fluid solver epoch (bisection fixed point with 3 clients).
+void BM_MemoryEpochSolve(benchmark::State& state) {
+  sim::Simulator sim;
+  mem::MemorySystem mem(sim, mem::DramParams{}, Rng(1), 5_us);
+  mem.add_closed_loop(mem::MemClass::kAntagonist, 12,
+                      BitRate::gigabytes_per_sec(8.5), Bytes(2048), 0.67);
+  const auto open = mem.add_open(mem::MemClass::kCpuCopy, 1.0);
+  mem.set_demand(open, BitRate::gigabytes_per_sec(3.0));
+  TimePs t{};
+  for (auto _ : state) {
+    t += 5_us;
+    sim.run_until(t);  // executes exactly one epoch
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MemoryEpochSolve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

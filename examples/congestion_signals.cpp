@@ -1,0 +1,48 @@
+// Congestion-response comparison (§4 "rethinking congestion response").
+//
+// Runs the interconnect-congested operating point (16 receiver
+// threads, IOMMU ON) under three protocols and prints what each pays
+// in drops and tail latency:
+//   swift             RTT-timescale delay response, 100us host target
+//   tcp-like          loss-based AIMD (no delay signal at all)
+//   swift+host-signal Swift plus a sub-RTT multiplicative cut when the
+//                     NIC buffer crosses 75% occupancy
+#include <cstdio>
+
+#include "core/experiment.h"
+
+namespace {
+hicc::Metrics run_with(hicc::transport::CcAlgorithm cc, const char* label) {
+  hicc::ExperimentConfig cfg;
+  cfg.rx_threads = 16;
+  cfg.iommu_enabled = true;
+  cfg.cc = cc;
+  hicc::Experiment exp(cfg);
+  const hicc::Metrics m = exp.run();
+  std::printf("%-18s %10.1f %9.3f %11lld %10.1f %10.1f\n", label,
+              m.app_throughput_gbps, m.drop_rate * 100.0,
+              static_cast<long long>(m.retransmits), m.host_delay_p50_us,
+              m.host_delay_p99_us);
+  return m;
+}
+}  // namespace
+
+int main() {
+  std::printf("Congestion response under host interconnect congestion\n");
+  std::printf("(16 receiver threads, IOMMU ON: the regime where Swift's 100us\n");
+  std::printf(" host target cannot see the 1MB NIC buffer filling in time)\n\n");
+  std::printf("%-18s %10s %9s %11s %10s %10s\n", "protocol", "app_gbps", "drop%",
+              "retransmits", "p50_us", "p99_us");
+
+  run_with(hicc::transport::CcAlgorithm::kSwift, "swift");
+  run_with(hicc::transport::CcAlgorithm::kTcpLike, "tcp-like");
+  run_with(hicc::transport::CcAlgorithm::kHostSignal, "swift+host-signal");
+
+  std::printf(
+      "\nThe loss-based baseline only learns about host congestion from drops,\n"
+      "so it pays the highest loss rate. Swift reacts within an RTT of the\n"
+      "host delay crossing 100us -- too late when in-flight bytes exceed the\n"
+      "NIC buffer. The sub-RTT hardware signal cuts windows before overflow,\n"
+      "trading a little throughput for far fewer drops (§4's direction).\n");
+  return 0;
+}

@@ -1,0 +1,178 @@
+// hicc_cli -- command-line experiment explorer.
+//
+// Runs one experiment with every knob exposed as a --key=value flag
+// and prints the metrics (or a time series with --timeline-us=N).
+//
+//   $ ./hicc_cli --threads=16 --iommu=1
+//   $ ./hicc_cli --threads=12 --antagonists=15 --iommu=0 --timeline-us=2000
+//   $ ./hicc_cli --threads=14 --cc=host-signal --victims=8
+//   $ ./hicc_cli --help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/experiment.h"
+
+namespace {
+
+using hicc::TimePs;
+
+struct Flags {
+  std::map<std::string, std::string> kv;
+
+  [[nodiscard]] double number(const std::string& key, double def) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] bool flag(const std::string& key, bool def) const {
+    return number(key, def ? 1 : 0) != 0;
+  }
+  [[nodiscard]] std::string str(const std::string& key, const std::string& def) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+  }
+};
+
+void usage() {
+  std::puts(
+      "hicc_cli -- host interconnect congestion simulator\n"
+      "\n"
+      "workload:\n"
+      "  --threads=N        receiver cores (default 12)\n"
+      "  --senders=N        sender machines (default 40)\n"
+      "  --read-kb=N        RPC read size in KB (default 16)\n"
+      "  --pipeline=N       outstanding reads per flow (default 1)\n"
+      "  --victims=N        latency-sensitive victim flows (default 0)\n"
+      "receiver host:\n"
+      "  --iommu=0|1        memory protection (default 1)\n"
+      "  --hugepages=0|1    2M vs 4K data mappings (default 1)\n"
+      "  --region-mb=N      Rx region per thread (default 12)\n"
+      "  --iotlb=N          IOTLB entries (default 128)\n"
+      "  --nic-buffer-kb=N  NIC input SRAM (default 1024)\n"
+      "  --ats=0|1          device-side translation (default 0)\n"
+      "  --strict=0|1       strict IOMMU invalidation (default 0)\n"
+      "  --ddio=0|1         direct cache access (default 1)\n"
+      "memory bus:\n"
+      "  --antagonists=N    STREAM cores, 0-15 (default 0)\n"
+      "  --remote-numa=0|1  antagonist on the other node (default 0)\n"
+      "  --mba-gbs=X        antagonist bandwidth cap, GB/s (default off)\n"
+      "protocol:\n"
+      "  --cc=swift|tcp|host-signal   (default swift)\n"
+      "  --host-target-us=N           Swift host target (default 100)\n"
+      "run control:\n"
+      "  --warmup-ms=N --measure-ms=N --seed=N\n"
+      "  --timeline-us=N    print a metrics row every N us instead of a\n"
+      "                     single summary");
+}
+
+void print_metrics(const hicc::Metrics& m) {
+  std::printf("app throughput     %8.2f Gbps\n", m.app_throughput_gbps);
+  std::printf("link utilization   %8.2f %%\n", m.link_utilization * 100);
+  std::printf("host drop rate     %8.4f %%\n", m.drop_rate * 100);
+  std::printf("IOTLB misses/pkt   %8.3f\n", m.iotlb_misses_per_packet);
+  std::printf("host delay p50/p99 %8.1f / %.1f us\n", m.host_delay_p50_us,
+              m.host_delay_p99_us);
+  std::printf("memory bandwidth   %8.2f GB/s (nic %.2f, walks %.3f, copy %.2f, "
+              "antagonist %.2f)\n",
+              m.memory.total_gbytes_per_sec,
+              m.memory.by_class_gbytes_per_sec[0], m.memory.by_class_gbytes_per_sec[1],
+              m.memory.by_class_gbytes_per_sec[2], m.memory.by_class_gbytes_per_sec[3]);
+  if (m.remote_memory.total_gbytes_per_sec > 0.01) {
+    std::printf("remote-node memory %8.2f GB/s\n", m.remote_memory.total_gbytes_per_sec);
+  }
+  if (m.victim_reads > 0) {
+    std::printf("victim reads       %8lld (p50 %.1f us, p99 %.1f us)\n",
+                static_cast<long long>(m.victim_reads), m.victim_read_p50_us,
+                m.victim_read_p99_us);
+  }
+  std::printf("packets            %lld delivered, %lld dropped, %lld retransmitted\n",
+              static_cast<long long>(m.delivered_packets),
+              static_cast<long long>(m.nic_buffer_drops),
+              static_cast<long long>(m.retransmits));
+  std::printf("pipeline stalls    %lld translation, %lld write-buffer\n",
+              static_cast<long long>(m.pcie_translation_stalls),
+              static_cast<long long>(m.pcie_write_buffer_stalls));
+  std::printf("simulated          %.1f ms (%llu events)\n", m.simulated_seconds * 1e3,
+              static_cast<unsigned long long>(m.events_executed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", argv[i]);
+      return 1;
+    }
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(2, eq == std::string::npos ? arg.npos : eq - 2);
+    const std::string value = eq == std::string::npos ? "1" : arg.substr(eq + 1);
+    flags.kv[key] = value;
+  }
+
+  hicc::ExperimentConfig cfg;
+  cfg.rx_threads = static_cast<int>(flags.number("threads", 12));
+  cfg.num_senders = static_cast<int>(flags.number("senders", 40));
+  cfg.read_size = hicc::Bytes(static_cast<std::int64_t>(flags.number("read-kb", 16) * 1024));
+  cfg.read_pipeline = static_cast<int>(flags.number("pipeline", 1));
+  cfg.victim_flows = static_cast<int>(flags.number("victims", 0));
+  cfg.iommu_enabled = flags.flag("iommu", true);
+  cfg.hugepages = flags.flag("hugepages", true);
+  cfg.data_region = hicc::Bytes::mib(flags.number("region-mb", 12));
+  cfg.iommu.iotlb_entries = static_cast<int>(flags.number("iotlb", 128));
+  cfg.nic.input_buffer =
+      hicc::Bytes(static_cast<std::int64_t>(flags.number("nic-buffer-kb", 1024) * 1024));
+  cfg.ats_enabled = flags.flag("ats", false);
+  cfg.strict_iommu = flags.flag("strict", false);
+  cfg.ddio.enabled = flags.flag("ddio", true);
+  cfg.antagonist_cores = static_cast<int>(flags.number("antagonists", 0));
+  cfg.antagonist_remote_numa = flags.flag("remote-numa", false);
+  cfg.antagonist_throttle_gbps = flags.number("mba-gbs", 0.0);
+  cfg.swift.host_target = TimePs::from_us(flags.number("host-target-us", 100));
+  cfg.warmup = TimePs::from_ms(flags.number("warmup-ms", 10));
+  cfg.measure = TimePs::from_ms(flags.number("measure-ms", 20));
+  cfg.seed = static_cast<std::uint64_t>(flags.number("seed", 1));
+
+  const std::string cc = flags.str("cc", "swift");
+  if (cc == "tcp") {
+    cfg.cc = hicc::transport::CcAlgorithm::kTcpLike;
+  } else if (cc == "host-signal") {
+    cfg.cc = hicc::transport::CcAlgorithm::kHostSignal;
+  } else if (cc == "swift") {
+    cfg.cc = hicc::transport::CcAlgorithm::kSwift;
+  } else {
+    std::fprintf(stderr, "unknown --cc=%s (swift|tcp|host-signal)\n", cc.c_str());
+    return 1;
+  }
+
+  hicc::Experiment exp(cfg);
+  const double timeline_us = flags.number("timeline-us", 0.0);
+  if (timeline_us > 0.0) {
+    exp.start();
+    exp.advance(cfg.warmup);
+    std::printf("%10s %10s %9s %9s %10s %10s\n", "t_ms", "app_gbps", "drop%", "miss/pkt",
+                "p99_us", "mem_gbs");
+    TimePs t = cfg.warmup;
+    while (t < cfg.warmup + cfg.measure) {
+      exp.begin_window();
+      exp.advance(TimePs::from_us(timeline_us));
+      t += TimePs::from_us(timeline_us);
+      const hicc::Metrics m = exp.snapshot();
+      std::printf("%10.2f %10.2f %9.3f %9.2f %10.1f %10.1f\n", t.us() / 1000.0,
+                  m.app_throughput_gbps, m.drop_rate * 100, m.iotlb_misses_per_packet,
+                  m.host_delay_p99_us, m.memory.total_gbytes_per_sec);
+    }
+    return 0;
+  }
+
+  print_metrics(exp.run());
+  return 0;
+}

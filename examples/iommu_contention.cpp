@@ -1,0 +1,47 @@
+// IOMMU contention walk-through (§3.1's story, end to end).
+//
+// Runs the same workload at increasing receiver-thread counts with the
+// IOMMU on, printing how the registered working set overflows the
+// 128-entry IOTLB and what that does to per-DMA latency, throughput,
+// and drops. Demonstrates the library's counter surface: mapped pages,
+// IOTLB hit/miss counters, page-walk memory reads, and the PCIe
+// pipeline's translation stalls.
+#include <cstdio>
+
+#include "core/experiment.h"
+
+int main() {
+  std::printf("How IOMMU contention becomes host congestion\n");
+  std::printf("--------------------------------------------\n");
+  std::printf("%7s %12s %10s %9s %8s %10s %12s\n", "threads", "mapped_pages",
+              "app_gbps", "miss/pkt", "drop%", "walks/s", "p99_delay_us");
+
+  for (int threads : {4, 8, 12, 16}) {
+    hicc::ExperimentConfig cfg;
+    cfg.rx_threads = threads;
+    cfg.iommu_enabled = true;
+    cfg.warmup = hicc::TimePs::from_ms(8);
+    cfg.measure = hicc::TimePs::from_ms(15);
+
+    hicc::Experiment exp(cfg);
+    const hicc::Metrics m = exp.run();
+    const auto& iommu = exp.receiver().iommu();
+    const double walks_per_sec =
+        static_cast<double>(iommu.stats().walks_completed) /
+        (cfg.warmup + cfg.measure).sec();
+
+    std::printf("%7d %12lld %10.1f %9.2f %8.3f %10.0f %12.1f\n", threads,
+                static_cast<long long>(iommu.mapped_pages()), m.app_throughput_gbps,
+                m.iotlb_misses_per_packet, m.drop_rate * 100.0, walks_per_sec,
+                m.host_delay_p99_us);
+  }
+
+  std::printf(
+      "\nReading the table: each thread registers a 12MB data region (six 2M\n"
+      "hugepages) plus ten 4K control pages, ~16 IOTLB entries per thread.\n"
+      "Eight threads fit the 128-entry IOTLB exactly; beyond that, every\n"
+      "extra thread adds misses, each miss stalls the ordered PCIe pipeline\n"
+      "for a page walk, per-DMA latency rises, and NIC->CPU throughput falls\n"
+      "-- while the NIC buffer absorbs the difference until it drops.\n");
+  return 0;
+}

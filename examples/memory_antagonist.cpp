@@ -1,0 +1,48 @@
+// Live memory-bus contention (§3.2), using the incremental API.
+//
+// Instead of one-shot Experiment::run(), this example drives the
+// simulation in 5ms steps and turns STREAM antagonist cores on and
+// off mid-flight, printing a time series of throughput, memory
+// bandwidth, loaded memory latency, and host delay -- the "packet
+// drops at 65% utilization" phenomenon as it unfolds.
+#include <cstdio>
+
+#include "core/experiment.h"
+
+int main() {
+  hicc::ExperimentConfig cfg;
+  cfg.rx_threads = 12;
+  cfg.iommu_enabled = false;  // isolate the memory-bus mechanism
+  cfg.antagonist_cores = 0;
+
+  hicc::Experiment exp(cfg);
+  exp.start();
+  exp.advance(hicc::TimePs::from_ms(8));  // warm up
+
+  std::printf("%8s %6s %10s %10s %12s %10s %8s\n", "t_ms", "antag", "app_gbps",
+              "mem_gbs", "mem_lat_ns", "p99_us", "drop%");
+
+  // Phase schedule: quiet -> ramp the antagonist -> quiet again.
+  const struct { int cores; int steps; } phases[] = {{0, 2}, {8, 2}, {15, 3}, {0, 2}};
+  double t_ms = 8.0;
+  for (const auto& phase : phases) {
+    exp.antagonist().set_cores(phase.cores);
+    for (int s = 0; s < phase.steps; ++s) {
+      exp.begin_window();
+      exp.advance(hicc::TimePs::from_ms(5));
+      t_ms += 5.0;
+      const hicc::Metrics m = exp.snapshot();
+      std::printf("%8.0f %6d %10.1f %10.1f %12.0f %10.1f %8.3f\n", t_ms,
+                  phase.cores, m.app_throughput_gbps, m.memory.total_gbytes_per_sec,
+                  exp.memory().current_latency().ns(), m.host_delay_p99_us,
+                  m.drop_rate * 100.0);
+    }
+  }
+
+  std::printf(
+      "\nWith 15 STREAM cores the bus saturates (~86 GB/s): CPU cores hold far\n"
+      "more requests in flight than the root complex's bounded write buffer,\n"
+      "so DMA writes retire slowly, PCIe credits stall, and throughput drops\n"
+      "~20%% -- even though the access link itself is far from full.\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace hicc {
+
+double Rng::exponential(double mean) {
+  // Inverse-CDF sampling; uniform() < 1 so the log argument is > 0.
+  return -mean * std::log(1.0 - uniform());
+}
+
+}  // namespace hicc

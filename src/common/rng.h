@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so that
+// experiments are exactly reproducible and sweeps can use independent
+// streams. xoshiro256++ is used for generation and splitmix64 for
+// seeding, following the reference implementations by Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace hicc {
+
+/// splitmix64 step: used to expand a single 64-bit seed into a full
+/// xoshiro256++ state and to derive independent child seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state via splitmix64, so any seed (including 0) is fine.
+  constexpr explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Unbiased enough for simulation use
+  /// (Lemire's multiply-shift reduction without the rejection loop would
+  /// bias by <2^-64 per draw; we keep the rejection loop for exactness).
+  constexpr std::uint64_t below(std::uint64_t n) {
+    if (n == 0) return 0;
+    // Rejection sampling over the largest multiple of n.
+    const std::uint64_t limit = max() - max() % n;
+    std::uint64_t v = (*this)();
+    while (v >= limit) v = (*this)();
+    return v % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Exponentially distributed double with the given mean.
+  double exponential(double mean);
+
+  /// Bernoulli trial with success probability p.
+  constexpr bool chance(double p) { return uniform() < p; }
+
+  /// Derives an independent child generator; use one child per
+  /// component so adding randomness in one place does not perturb others.
+  constexpr Rng fork() {
+    std::uint64_t s = (*this)();
+    return Rng(splitmix64(s));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hicc

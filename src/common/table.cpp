@@ -1,0 +1,79 @@
+#include "common/table.h"
+
+#include <cassert>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace hicc {
+
+void Table::add_row(std::vector<Cell> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(const Cell& cell, int precision) {
+  std::ostringstream oss;
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    oss << *s;
+  } else if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    oss << *i;
+  } else {
+    oss << std::fixed << std::setprecision(precision) << std::get<double>(cell);
+  }
+  return oss.str();
+}
+
+void Table::print(std::ostream& os, int precision) const {
+  std::vector<std::size_t> widths(columns_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(render(row[c], precision));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    os << '\n';
+  };
+  line(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    rule += std::string(widths[c], '-');
+    if (c + 1 < columns_.size()) rule += "  ";
+  }
+  os << rule << '\n';
+  for (const auto& row : rendered) line(row);
+}
+
+void Table::write_csv(std::ostream& os, int precision) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << columns_[c];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << render(row[c], precision);
+    }
+    os << '\n';
+  }
+}
+
+bool Table::save_csv(const std::string& path, int precision) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out, precision);
+  return static_cast<bool>(out);
+}
+
+}  // namespace hicc

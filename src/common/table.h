@@ -1,0 +1,45 @@
+// Minimal table formatting for benchmark/experiment output: every
+// figure-reproduction binary prints its series as an aligned ASCII
+// table (what EXPERIMENTS.md quotes) and can also dump CSV for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hicc {
+
+/// A single table cell: text, integer or floating point.
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// Column-aligned table with a fixed header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  /// Appends a row; must contain exactly one cell per column.
+  void add_row(std::vector<Cell> cells);
+
+  /// Renders with aligned columns. Doubles are printed with
+  /// `precision` digits after the decimal point.
+  void print(std::ostream& os, int precision = 3) const;
+
+  /// Renders as CSV (no quoting; cells must not contain commas).
+  void write_csv(std::ostream& os, int precision = 6) const;
+
+  /// Convenience: writes CSV to `path`, returning false on I/O failure.
+  [[nodiscard]] bool save_csv(const std::string& path, int precision = 6) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const { return columns_; }
+
+ private:
+  static std::string render(const Cell& cell, int precision);
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace hicc

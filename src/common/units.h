@@ -1,0 +1,162 @@
+// Strong-typed physical units used throughout the simulator.
+//
+// Simulation time is kept as integer picoseconds: at 100Gbps one byte
+// takes exactly 80ps on the wire, so picosecond resolution represents
+// per-byte serialization times exactly and an int64_t still covers
+// ~106 days of simulated time. Rates are double bits-per-second.
+//
+// The types are deliberately tiny (a single arithmetic member, all
+// constexpr) so they compile away entirely; their only job is to make
+// unit mistakes (ns vs ps, bits vs bytes, GB/s vs Gbps) type errors.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace hicc {
+
+/// A point in (or span of) simulated time, in integer picoseconds.
+class TimePs {
+ public:
+  constexpr TimePs() = default;
+  constexpr explicit TimePs(std::int64_t ps) : ps_(ps) {}
+
+  /// Value in picoseconds.
+  [[nodiscard]] constexpr std::int64_t ps() const { return ps_; }
+  /// Value converted to floating-point nanoseconds.
+  [[nodiscard]] constexpr double ns() const { return static_cast<double>(ps_) * 1e-3; }
+  /// Value converted to floating-point microseconds.
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ps_) * 1e-6; }
+  /// Value converted to floating-point seconds.
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ps_) * 1e-12; }
+
+  static constexpr TimePs from_ns(double ns) {
+    return TimePs(static_cast<std::int64_t>(ns * 1e3));
+  }
+  static constexpr TimePs from_us(double us) {
+    return TimePs(static_cast<std::int64_t>(us * 1e6));
+  }
+  static constexpr TimePs from_ms(double ms) {
+    return TimePs(static_cast<std::int64_t>(ms * 1e9));
+  }
+  static constexpr TimePs from_sec(double s) {
+    return TimePs(static_cast<std::int64_t>(s * 1e12));
+  }
+  /// The largest representable time; used as "never".
+  static constexpr TimePs max() { return TimePs(INT64_MAX); }
+
+  constexpr auto operator<=>(const TimePs&) const = default;
+
+  constexpr TimePs& operator+=(TimePs o) { ps_ += o.ps_; return *this; }
+  constexpr TimePs& operator-=(TimePs o) { ps_ -= o.ps_; return *this; }
+
+  friend constexpr TimePs operator+(TimePs a, TimePs b) { return TimePs(a.ps_ + b.ps_); }
+  friend constexpr TimePs operator-(TimePs a, TimePs b) { return TimePs(a.ps_ - b.ps_); }
+  friend constexpr TimePs operator*(TimePs a, std::int64_t k) { return TimePs(a.ps_ * k); }
+  friend constexpr TimePs operator*(std::int64_t k, TimePs a) { return TimePs(a.ps_ * k); }
+  friend constexpr TimePs operator/(TimePs a, std::int64_t k) { return TimePs(a.ps_ / k); }
+  /// Ratio of two durations (e.g. for utilization computations).
+  friend constexpr double operator/(TimePs a, TimePs b) {
+    return static_cast<double>(a.ps_) / static_cast<double>(b.ps_);
+  }
+
+ private:
+  std::int64_t ps_ = 0;
+};
+
+/// A byte count (buffer occupancies, packet sizes, transfer volumes).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::int64_t count) : count_(count) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const { return count_; }
+  [[nodiscard]] constexpr double bits() const { return static_cast<double>(count_) * 8.0; }
+  [[nodiscard]] constexpr double kib() const { return static_cast<double>(count_) / 1024.0; }
+  [[nodiscard]] constexpr double mib() const {
+    return static_cast<double>(count_) / (1024.0 * 1024.0);
+  }
+  [[nodiscard]] constexpr double gb() const { return static_cast<double>(count_) * 1e-9; }
+
+  static constexpr Bytes kib(double v) {
+    return Bytes(static_cast<std::int64_t>(v * 1024.0));
+  }
+  static constexpr Bytes mib(double v) {
+    return Bytes(static_cast<std::int64_t>(v * 1024.0 * 1024.0));
+  }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes& operator+=(Bytes o) { count_ += o.count_; return *this; }
+  constexpr Bytes& operator-=(Bytes o) { count_ -= o.count_; return *this; }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes(a.count_ + b.count_); }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes(a.count_ - b.count_); }
+  friend constexpr Bytes operator*(Bytes a, std::int64_t k) { return Bytes(a.count_ * k); }
+  friend constexpr Bytes operator*(std::int64_t k, Bytes a) { return Bytes(a.count_ * k); }
+  friend constexpr Bytes operator/(Bytes a, std::int64_t k) { return Bytes(a.count_ / k); }
+  friend constexpr double operator/(Bytes a, Bytes b) {
+    return static_cast<double>(a.count_) / static_cast<double>(b.count_);
+  }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+/// A data rate in bits per second. Stored as double: rates are the
+/// result of divisions and fixed-point would buy nothing here.
+class BitRate {
+ public:
+  constexpr BitRate() = default;
+  constexpr explicit BitRate(double bits_per_sec) : bps_(bits_per_sec) {}
+
+  [[nodiscard]] constexpr double bps() const { return bps_; }
+  [[nodiscard]] constexpr double gbps() const { return bps_ * 1e-9; }
+  /// Bytes per second (used by the memory subsystem, which thinks in GB/s).
+  [[nodiscard]] constexpr double bytes_per_sec() const { return bps_ / 8.0; }
+  [[nodiscard]] constexpr double gigabytes_per_sec() const { return bps_ * 1e-9 / 8.0; }
+
+  static constexpr BitRate gbps(double v) { return BitRate(v * 1e9); }
+  static constexpr BitRate mbps(double v) { return BitRate(v * 1e6); }
+  /// From bytes/second (memory-bandwidth style figures).
+  static constexpr BitRate gigabytes_per_sec(double v) { return BitRate(v * 8e9); }
+
+  constexpr auto operator<=>(const BitRate&) const = default;
+
+  /// Time to move `n` bytes at this rate (rounded to the nearest ps).
+  [[nodiscard]] constexpr TimePs time_to_send(Bytes n) const {
+    return TimePs(static_cast<std::int64_t>(n.bits() / bps_ * 1e12 + 0.5));
+  }
+  /// Bytes moved in `t` at this rate (rounded to the nearest byte).
+  [[nodiscard]] constexpr Bytes bytes_in(TimePs t) const {
+    return Bytes(static_cast<std::int64_t>(bps_ / 8.0 * t.sec() + 0.5));
+  }
+
+  friend constexpr BitRate operator+(BitRate a, BitRate b) { return BitRate(a.bps_ + b.bps_); }
+  friend constexpr BitRate operator-(BitRate a, BitRate b) { return BitRate(a.bps_ - b.bps_); }
+  friend constexpr BitRate operator*(BitRate a, double k) { return BitRate(a.bps_ * k); }
+  friend constexpr BitRate operator*(double k, BitRate a) { return BitRate(a.bps_ * k); }
+  friend constexpr BitRate operator/(BitRate a, double k) { return BitRate(a.bps_ / k); }
+  friend constexpr double operator/(BitRate a, BitRate b) { return a.bps_ / b.bps_; }
+
+ private:
+  double bps_ = 0.0;
+};
+
+/// Rate observed when `n` bytes take `t` time (guards t == 0).
+constexpr BitRate rate_of(Bytes n, TimePs t) {
+  if (t.ps() <= 0) return BitRate(0.0);
+  return BitRate(n.bits() / t.sec());
+}
+
+namespace literals {
+constexpr TimePs operator""_ps(unsigned long long v) { return TimePs(static_cast<std::int64_t>(v)); }
+constexpr TimePs operator""_ns(unsigned long long v) { return TimePs(static_cast<std::int64_t>(v) * 1000); }
+constexpr TimePs operator""_us(unsigned long long v) { return TimePs(static_cast<std::int64_t>(v) * 1000000); }
+constexpr TimePs operator""_ms(unsigned long long v) { return TimePs(static_cast<std::int64_t>(v) * 1000000000); }
+constexpr Bytes operator""_B(unsigned long long v) { return Bytes(static_cast<std::int64_t>(v)); }
+constexpr Bytes operator""_KiB(unsigned long long v) { return Bytes(static_cast<std::int64_t>(v) * 1024); }
+constexpr Bytes operator""_MiB(unsigned long long v) { return Bytes(static_cast<std::int64_t>(v) * 1024 * 1024); }
+}  // namespace literals
+
+}  // namespace hicc

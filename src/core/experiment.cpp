@@ -1,0 +1,188 @@
+#include "core/experiment.h"
+
+#include <cassert>
+
+#include "transport/swift.h"
+
+namespace hicc {
+
+Experiment::Experiment(ExperimentConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  cfg_.iommu.enabled = cfg_.iommu_enabled;
+  cfg_.fabric.num_senders = cfg_.num_senders;
+
+  mem_ = std::make_unique<mem::MemorySystem>(sim_, cfg_.dram, rng_.fork());
+  remote_mem_ = std::make_unique<mem::MemorySystem>(sim_, cfg_.dram, rng_.fork());
+  // §4: scheduling the memory-hungry application on the NUMA node the
+  // NIC is NOT attached to removes it from the contended bus entirely.
+  mem::MemorySystem& antagonist_node = cfg_.antagonist_remote_numa ? *remote_mem_ : *mem_;
+  antagonist_ = std::make_unique<mem::StreamAntagonist>(antagonist_node, cfg_.antagonist,
+                                                        cfg_.antagonist_cores);
+  if (cfg_.antagonist_throttle_gbps > 0.0) {
+    antagonist_node.set_class_throttle(
+        mem::MemClass::kAntagonist,
+        BitRate::gigabytes_per_sec(cfg_.antagonist_throttle_gbps));
+  }
+
+  host::ReceiverParams rp;
+  rp.threads = cfg_.rx_threads;
+  rp.data_region = cfg_.data_region;
+  rp.hugepages = cfg_.hugepages;
+  rp.iommu = cfg_.iommu;
+  rp.pcie = cfg_.pcie;
+  rp.nic = cfg_.nic;
+  rp.nic.ats_enabled = cfg_.ats_enabled;
+  rp.nic.strict_invalidation = cfg_.strict_iommu;
+  rp.thread = cfg_.thread;
+  rp.ddio = cfg_.ddio;
+  rp.copy_read_fraction = cfg_.copy_read_fraction;
+  rp.read_size = cfg_.read_size;
+  rp.read_pipeline = cfg_.read_pipeline;
+  rp.victim_flows = cfg_.victim_flows;
+  rp.victim_read_size = cfg_.victim_read_size;
+  rp.send_host_signals = (cfg_.cc == transport::CcAlgorithm::kHostSignal);
+  receiver_ = std::make_unique<host::ReceiverHost>(sim_, *mem_, rp, cfg_.num_senders,
+                                                   cfg_.wire, rng_.fork());
+
+  fabric_ = std::make_unique<net::Fabric>(
+      sim_, cfg_.fabric, [this](net::Packet p) { receiver_->on_arrival(std::move(p)); },
+      [this](int i, net::Packet p) {
+        senders_[static_cast<std::size_t>(i)]->on_packet(p);
+      });
+
+  senders_.reserve(static_cast<std::size_t>(cfg_.num_senders));
+  for (int i = 0; i < cfg_.num_senders; ++i) {
+    senders_.push_back(std::make_unique<transport::SenderHost>(
+        sim_, i, cfg_.wire,
+        [this, i](net::Packet p) { return fabric_->send_from_sender(i, std::move(p)); },
+        rng_.fork()));
+  }
+  for (std::int32_t flow = 0; flow < receiver_->num_flows(); ++flow) {
+    senders_[static_cast<std::size_t>(receiver_->sender_of_flow(flow))]->add_flow(flow,
+                                                                                  make_cc());
+  }
+
+  receiver_->set_transmit(
+      [this](net::Packet p) { return fabric_->send_from_receiver(std::move(p)); });
+}
+
+Experiment::~Experiment() = default;
+
+std::unique_ptr<transport::CongestionControl> Experiment::make_cc() {
+  switch (cfg_.cc) {
+    case transport::CcAlgorithm::kSwift:
+      return std::make_unique<transport::SwiftCc>(sim_, cfg_.swift);
+    case transport::CcAlgorithm::kTcpLike:
+      return std::make_unique<transport::TcpLikeCc>(sim_);
+    case transport::CcAlgorithm::kHostSignal:
+      return std::make_unique<transport::SwiftCc>(sim_, cfg_.swift,
+                                                  /*react_to_host_signal=*/true);
+  }
+  return nullptr;
+}
+
+void Experiment::start() {
+  if (started_) return;
+  started_ = true;
+  receiver_->start();
+}
+
+void Experiment::advance(TimePs dt) { sim_.run_until(sim_.now() + dt); }
+
+Experiment::CounterSnapshot Experiment::snapshot_counters() const {
+  CounterSnapshot s;
+  s.iotlb_misses = receiver_->iommu().stats().misses;
+  s.iotlb_lookups = receiver_->iommu().stats().lookups;
+  s.nic_arrivals = receiver_->nic().stats().arrivals;
+  s.nic_drops = receiver_->nic().stats().buffer_drops;
+  s.delivered = receiver_->nic().stats().delivered;
+  s.fabric_drops = fabric_->fabric_drops();
+  s.translation_stalls = receiver_->pcie().stats().translation_stalls;
+  s.wb_stalls = receiver_->pcie().stats().write_buffer_stalls;
+  s.hol_stalls = receiver_->nic().stats().hol_descriptor_stalls;
+  for (const auto& sender : senders_) {
+    for (const auto& [id, flow] : sender->flows()) {
+      s.data_sent += flow->stats().data_packets_sent;
+      s.retransmits += flow->stats().retransmits;
+      s.rto_fires += flow->stats().rto_fires;
+    }
+  }
+  return s;
+}
+
+void Experiment::begin_window() {
+  window_start_ = snapshot_counters();
+  window_start_time_ = sim_.now();
+  mem_->begin_window();
+  remote_mem_->begin_window();
+  receiver_->begin_window();
+}
+
+Metrics Experiment::snapshot() const {
+  const CounterSnapshot now = snapshot_counters();
+  const double secs = (sim_.now() - window_start_time_).sec();
+  Metrics m;
+  m.simulated_seconds = secs;
+  m.events_executed = sim_.executed();
+  if (secs <= 0.0) return m;
+
+  const auto& win = receiver_->window();
+  m.app_throughput_gbps = static_cast<double>(win.processed_bytes) * 8.0 / secs * 1e-9;
+
+  const std::int64_t arrivals = now.nic_arrivals - window_start_.nic_arrivals;
+  const double wire_bits =
+      static_cast<double>(arrivals) * cfg_.wire.data_wire().bits();
+  m.link_utilization = wire_bits / secs / cfg_.fabric.link_rate.bps();
+
+  m.delivered_packets = win.processed_packets;
+  m.nic_buffer_drops = now.nic_drops - window_start_.nic_drops;
+  m.fabric_drops = now.fabric_drops - window_start_.fabric_drops;
+  m.data_packets_sent = (now.data_sent - window_start_.data_sent) +
+                        (now.retransmits - window_start_.retransmits);
+  m.retransmits = now.retransmits - window_start_.retransmits;
+  m.rto_fires = now.rto_fires - window_start_.rto_fires;
+  m.drop_rate = m.data_packets_sent > 0 ? static_cast<double>(m.nic_buffer_drops) /
+                                              static_cast<double>(m.data_packets_sent)
+                                        : 0.0;
+
+  m.iotlb_misses = now.iotlb_misses - window_start_.iotlb_misses;
+  m.iotlb_lookups = now.iotlb_lookups - window_start_.iotlb_lookups;
+  const std::int64_t delivered_delta = now.delivered - window_start_.delivered;
+  m.iotlb_misses_per_packet =
+      delivered_delta > 0
+          ? static_cast<double>(m.iotlb_misses) / static_cast<double>(delivered_delta)
+          : 0.0;
+
+  m.memory = mem_->window_report();
+  m.remote_memory = remote_mem_->window_report();
+  m.host_delay_p50_us = win.host_delay_us.percentile(50);
+  m.host_delay_p99_us = win.host_delay_us.percentile(99);
+  m.host_delay_max_us = win.host_delay_us.max_value();
+  m.victim_reads = win.victim_read_us.count();
+  m.victim_read_p50_us = win.victim_read_us.percentile(50);
+  m.victim_read_p99_us = win.victim_read_us.percentile(99);
+
+  m.pcie_translation_stalls = now.translation_stalls - window_start_.translation_stalls;
+  m.pcie_write_buffer_stalls = now.wb_stalls - window_start_.wb_stalls;
+  m.hol_descriptor_stalls = now.hol_stalls - window_start_.hol_stalls;
+
+  double cwnd_sum = 0.0;
+  std::int64_t flows = 0;
+  for (const auto& sender : senders_) {
+    for (const auto& [id, flow] : sender->flows()) {
+      cwnd_sum += flow->cwnd();
+      ++flows;
+    }
+  }
+  m.avg_cwnd = flows > 0 ? cwnd_sum / static_cast<double>(flows) : 0.0;
+  return m;
+}
+
+Metrics Experiment::run() {
+  start();
+  sim_.run_until(cfg_.warmup);
+  begin_window();
+  sim_.run_until(cfg_.warmup + cfg_.measure);
+  return snapshot();
+}
+
+}  // namespace hicc

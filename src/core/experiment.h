@@ -1,0 +1,95 @@
+// Experiment: assembles the full system (memory, IOMMU, PCIe, NIC,
+// receiver threads, fabric, sender hosts, congestion control), runs
+// warmup + a measurement window, and harvests Metrics.
+//
+// This is the primary public entry point of the library:
+//
+//   hicc::ExperimentConfig cfg;
+//   cfg.rx_threads = 12;
+//   cfg.iommu_enabled = true;
+//   hicc::Experiment exp(cfg);
+//   const hicc::Metrics m = exp.run();
+//
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/metrics.h"
+#include "host/receiver_host.h"
+#include "mem/memory_system.h"
+#include "mem/stream_antagonist.h"
+#include "net/fabric.h"
+#include "sim/simulator.h"
+#include "transport/sender_host.h"
+
+namespace hicc {
+
+/// One fully-wired simulation instance. Build one Experiment per
+/// configuration point; run() may be called once.
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig cfg);
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+  ~Experiment();
+
+  /// Runs warmup + measurement and returns the window's metrics.
+  Metrics run();
+
+  /// Advances the simulation by `dt` (for incremental/example use).
+  void advance(TimePs dt);
+
+  /// Starts the workload without running (for incremental use).
+  void start();
+
+  /// Snapshot of current metrics relative to the last begin_window().
+  [[nodiscard]] Metrics snapshot() const;
+
+  /// Resets all measurement windows at the current instant.
+  void begin_window();
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] mem::MemorySystem& memory() { return *mem_; }
+  [[nodiscard]] mem::MemorySystem& remote_memory() { return *remote_mem_; }
+  [[nodiscard]] host::ReceiverHost& receiver() { return *receiver_; }
+  [[nodiscard]] mem::StreamAntagonist& antagonist() { return *antagonist_; }
+  [[nodiscard]] const ExperimentConfig& config() const { return cfg_; }
+
+ private:
+  struct CounterSnapshot {
+    std::int64_t iotlb_misses = 0;
+    std::int64_t iotlb_lookups = 0;
+    std::int64_t nic_arrivals = 0;
+    std::int64_t nic_drops = 0;
+    std::int64_t data_sent = 0;
+    std::int64_t retransmits = 0;
+    std::int64_t rto_fires = 0;
+    std::int64_t delivered = 0;
+    std::int64_t fabric_drops = 0;
+    std::int64_t translation_stalls = 0;
+    std::int64_t wb_stalls = 0;
+    std::int64_t hol_stalls = 0;
+  };
+
+  [[nodiscard]] std::unique_ptr<transport::CongestionControl> make_cc();
+  [[nodiscard]] CounterSnapshot snapshot_counters() const;
+
+  ExperimentConfig cfg_;
+  Rng rng_;
+  sim::Simulator sim_;
+  std::unique_ptr<mem::MemorySystem> mem_;         // NIC-local NUMA node
+  std::unique_ptr<mem::MemorySystem> remote_mem_;  // the other NUMA node
+  std::unique_ptr<mem::StreamAntagonist> antagonist_;
+  std::unique_ptr<host::ReceiverHost> receiver_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<transport::SenderHost>> senders_;
+  CounterSnapshot window_start_;
+  TimePs window_start_time_{};
+  bool started_ = false;
+};
+
+}  // namespace hicc

@@ -1,0 +1,61 @@
+// Metrics harvested from one experiment run -- the quantities the
+// paper's figures plot, plus supporting counters for diagnosis.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/memory_system.h"
+
+namespace hicc {
+
+/// Measurement-window results of an Experiment::run().
+struct Metrics {
+  // --------------------------------------------------- headline plots
+  /// Application-level throughput: payload bytes processed per second
+  /// (the paper's y-axis; ceiling ~92 Gbps at 4K MTU).
+  double app_throughput_gbps = 0.0;
+  /// Wire bytes arriving at the receiver NIC / access-link capacity
+  /// (Figure 1's x-axis).
+  double link_utilization = 0.0;
+  /// Host packet drops / data packets transmitted (Figure 1/3/4/5/6).
+  double drop_rate = 0.0;
+  /// IOTLB misses per delivered packet (Figures 3/4/5, right panels).
+  double iotlb_misses_per_packet = 0.0;
+  /// Total memory bandwidth on the NIC-local NUMA node, GB/s (Fig 6 top).
+  mem::BandwidthReport memory;
+
+  // ------------------------------------------------------ host delay
+  double host_delay_p50_us = 0.0;
+  double host_delay_p99_us = 0.0;
+  double host_delay_max_us = 0.0;
+
+  // -------------------------------------- victim flows (isolation)
+  std::int64_t victim_reads = 0;
+  double victim_read_p50_us = 0.0;
+  double victim_read_p99_us = 0.0;
+
+  // ------------------------------- remote NUMA node (§4 experiments)
+  mem::BandwidthReport remote_memory;
+
+  // -------------------------------------------------------- counters
+  std::int64_t data_packets_sent = 0;  // first transmissions + retx
+  std::int64_t retransmits = 0;
+  std::int64_t rto_fires = 0;
+  std::int64_t delivered_packets = 0;
+  std::int64_t nic_buffer_drops = 0;
+  std::int64_t fabric_drops = 0;
+  std::int64_t iotlb_misses = 0;
+  std::int64_t iotlb_lookups = 0;
+  std::int64_t pcie_translation_stalls = 0;
+  std::int64_t pcie_write_buffer_stalls = 0;
+  std::int64_t hol_descriptor_stalls = 0;
+
+  // ------------------------------------------------------- transport
+  double avg_cwnd = 0.0;
+
+  // -------------------------------------------------------- run info
+  double simulated_seconds = 0.0;
+  std::uint64_t events_executed = 0;
+};
+
+}  // namespace hicc

@@ -1,0 +1,157 @@
+#include "host/receiver_host.h"
+
+#include <cassert>
+#include <utility>
+
+namespace hicc::host {
+
+ReceiverHost::ReceiverHost(sim::Simulator& sim, mem::MemorySystem& mem,
+                           ReceiverParams params, int num_senders, net::WireFormat wire,
+                           Rng rng)
+    : sim_(sim),
+      mem_(mem),
+      params_(params),
+      num_senders_(num_senders),
+      wire_(wire),
+      rng_(rng) {
+  iommu_ = std::make_unique<iommu::Iommu>(sim_, mem_, params_.iommu, rng_.fork());
+  ddio_ = std::make_unique<mem::DdioModel>(params_.ddio, rng_.fork());
+  ddio_->set_io_working_set(params_.data_region * params_.threads);
+  pcie_ = std::make_unique<pcie::PcieBus>(sim_, mem_, *iommu_, params_.pcie, ddio_.get());
+  nic_ = std::make_unique<nic::Nic>(
+      sim_, *pcie_, *iommu_, params_.nic, params_.threads, params_.data_region,
+      params_.hugepages ? iommu::PageSize::k2M : iommu::PageSize::k4K,
+      [this](std::int32_t flow) { return thread_of_flow(flow); }, rng_.fork());
+
+  threads_.reserve(static_cast<std::size_t>(params_.threads));
+  for (int t = 0; t < params_.threads; ++t) {
+    threads_.push_back(std::make_unique<RxThread>(
+        sim_, t, params_.thread, rng_.fork(),
+        [this](const net::Packet& p, TimePs arr) { on_processed(p, arr); }));
+  }
+
+  read_remaining_.resize(static_cast<std::size_t>(num_flows()));
+  packets_per_read_.resize(static_cast<std::size_t>(num_flows()));
+  read_issued_at_.assign(static_cast<std::size_t>(num_flows()), TimePs(0));
+  for (std::int32_t f = 0; f < num_flows(); ++f) {
+    packets_per_read_[static_cast<std::size_t>(f)] = static_cast<int>(
+        std::max<std::int64_t>(1, read_bytes_of(f).count() / wire_.mtu_payload.count()));
+    read_remaining_[static_cast<std::size_t>(f)] =
+        packets_per_read_[static_cast<std::size_t>(f)];
+  }
+
+  // The rx threads' copies are CPU-side streaming traffic on the same
+  // memory bus; demand follows the processing rate.
+  copy_client_ = mem_.add_open(mem::MemClass::kCpuCopy, /*read_fraction=*/1.0);
+  accounting_.emplace(sim_, params_.accounting_period, [this] { refresh_copy_demand(); });
+
+  nic_->set_callbacks(nic::Nic::Callbacks{
+      .deliver = [this](int t, net::Packet p,
+                        TimePs arr) { on_delivered(t, std::move(p), arr); },
+      .transmit = [this](net::Packet p) { return transmit_ ? transmit_(std::move(p)) : false; },
+      .buffer_pressure =
+          params_.send_host_signals ? std::function<void()>([this] { on_buffer_pressure(); })
+                                    : std::function<void()>(),
+  });
+}
+
+void ReceiverHost::set_transmit(std::function<bool(net::Packet)> transmit) {
+  transmit_ = std::move(transmit);
+}
+
+void ReceiverHost::start() {
+  assert(transmit_ && "set_transmit() must be wired before start()");
+  for (std::int32_t flow = 0; flow < num_flows(); ++flow) {
+    // Victims are strictly closed-loop (one read at a time) so their
+    // measured read latency is well defined.
+    const int pipeline = is_victim(flow) ? 1 : params_.read_pipeline;
+    for (int r = 0; r < pipeline; ++r) {
+      // Stagger initial requests across ~50us so 480 flows do not fire
+      // in lockstep.
+      const TimePs jitter = TimePs::from_us(rng_.uniform(0.0, 50.0));
+      sim_.after(jitter, [this, flow] { issue_read(flow); });
+    }
+  }
+}
+
+void ReceiverHost::issue_read(std::int32_t flow) {
+  net::Packet req;
+  req.kind = net::PacketKind::kReadRequest;
+  req.flow = flow;
+  req.sender = sender_of_flow(flow);
+  req.payload = read_bytes_of(flow);
+  req.wire = wire_.read_request_wire;
+  read_issued_at_[static_cast<std::size_t>(flow)] = sim_.now();
+  nic_->send_packet(std::move(req), thread_of_flow(flow));
+}
+
+void ReceiverHost::on_delivered(int thread, net::Packet p, TimePs nic_arrival) {
+  threads_[static_cast<std::size_t>(thread)]->enqueue(std::move(p), nic_arrival);
+}
+
+void ReceiverHost::on_processed(const net::Packet& p, TimePs nic_arrival) {
+  const TimePs host_delay = sim_.now() - nic_arrival;
+  ++window_.processed_packets;
+  window_.processed_bytes += p.payload.count();
+  window_.host_delay_us.add(host_delay.us());
+
+  const int thread = thread_of_flow(p.flow);
+  // The stack replenishes the Rx descriptor it just consumed.
+  nic_->post_descriptors(thread, 1);
+  send_ack(p, host_delay);
+
+  auto& remaining = read_remaining_[static_cast<std::size_t>(p.flow)];
+  if (--remaining <= 0) {
+    remaining = packets_per_read_[static_cast<std::size_t>(p.flow)];
+    if (is_victim(p.flow)) {
+      const TimePs issued = read_issued_at_[static_cast<std::size_t>(p.flow)];
+      window_.victim_read_us.add((sim_.now() - issued).us());
+    }
+    issue_read(p.flow);
+  }
+}
+
+void ReceiverHost::send_ack(const net::Packet& data, TimePs host_delay) {
+  net::Packet ack;
+  ack.kind = net::PacketKind::kAck;
+  ack.flow = data.flow;
+  ack.sender = data.sender;
+  ack.seq = data.seq;
+  ack.wire = wire_.ack_wire;
+  ack.sent_at = data.sent_at;           // echo for RTT measurement
+  ack.echoed_host_delay = host_delay;   // Swift's host-delay signal
+  nic_->send_packet(std::move(ack), thread_of_flow(data.flow));
+}
+
+void ReceiverHost::on_buffer_pressure() {
+  if (sim_.now() - last_signal_ < params_.signal_cooldown) return;
+  last_signal_ = sim_.now();
+  // Hardware-originated sub-RTT signal: bypasses DMA + stack entirely
+  // and goes straight back to every sender (§4's "new congestion
+  // signals from outside the network stack").
+  for (int s = 0; s < num_senders_; ++s) {
+    net::Packet sig;
+    sig.kind = net::PacketKind::kHostSignal;
+    sig.sender = s;
+    sig.wire = wire_.ack_wire;
+    if (transmit_) transmit_(std::move(sig));
+  }
+}
+
+void ReceiverHost::refresh_copy_demand() {
+  const std::int64_t delta = window_.processed_bytes - copy_accounted_bytes_;
+  copy_accounted_bytes_ = window_.processed_bytes;
+  const double bytes_per_sec =
+      static_cast<double>(delta) / params_.accounting_period.sec();
+  // With DDIO the copied payload is mostly still LLC-resident; without
+  // it, every copied byte is fetched from DRAM.
+  const double miss_fraction = ddio_->enabled() ? params_.copy_read_fraction : 1.0;
+  mem_.set_demand(copy_client_, BitRate(bytes_per_sec * 8.0 * miss_fraction));
+}
+
+void ReceiverHost::begin_window() {
+  window_ = ReceiverWindow{};
+  copy_accounted_bytes_ = 0;
+}
+
+}  // namespace hicc::host

@@ -1,0 +1,177 @@
+// The receiver machine under study: NIC + PCIe + IOMMU + rx threads,
+// all attached to one NUMA node's memory system (§2's Figure 2).
+//
+// Responsibilities:
+//  * assemble and wire the datapath (fabric -> NIC -> PCIe/IOMMU ->
+//    memory -> rx thread -> ACK/read-request back through the NIC Tx);
+//  * drive the closed-loop RPC workload: each (sender, thread) flow
+//    keeps `read_pipeline` 16KB reads outstanding, reissuing as reads
+//    complete (§3's "each receiver thread issues 16KB remote reads
+//    using one connection per sender");
+//  * account the rx threads' copy traffic on the memory bus;
+//  * measure host delay (NIC arrival -> stack processing done), the
+//    quantity Swift's 100us host target is compared against;
+//  * optionally emit sub-RTT host congestion signals (§4 ablation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "iommu/iommu.h"
+#include "mem/ddio.h"
+#include "mem/memory_system.h"
+#include "net/packet.h"
+#include "nic/nic.h"
+#include "pcie/pcie_bus.h"
+#include "sim/simulator.h"
+#include "host/rx_thread.h"
+
+namespace hicc::host {
+
+/// Receiver-host configuration.
+struct ReceiverParams {
+  int threads = 12;
+  /// Registered Rx data region per thread (Fig 5 sweeps this).
+  Bytes data_region = Bytes::mib(12);
+  /// 2M mappings when true (Fig 4 disables this).
+  bool hugepages = true;
+  iommu::IommuParams iommu;
+  pcie::PcieParams pcie;
+  nic::NicParams nic;
+  RxThreadParams thread;
+  /// Direct-cache-access model shared by the root complex and the
+  /// copy-traffic accounting (footnote 2).
+  mem::DdioParams ddio;
+  /// Fraction of processed payload bytes that miss cache during the
+  /// copy to application buffers when DDIO keeps the rest on-chip:
+  /// ~3.3 GB/s of reads at full rate, per §3.2's measurement. With
+  /// DDIO disabled every copied byte is read from DRAM.
+  double copy_read_fraction = 0.29;
+  /// RPC read size (16KB -> 4 MTU packets).
+  Bytes read_size = Bytes(16 * 1024);
+  /// Reads kept outstanding per flow.
+  int read_pipeline = 1;
+  /// Latency-sensitive victim flows sharing the NIC with the bulk
+  /// workload (isolation experiments: "all applications use a shared
+  /// NIC buffer where drops end up occurring", §3). Victims issue
+  /// small closed-loop reads and their read-completion latency is
+  /// tracked separately.
+  int victim_flows = 0;
+  Bytes victim_read_size = Bytes(4096);
+  /// Emit out-of-band NIC-buffer congestion signals to senders.
+  bool send_host_signals = false;
+  TimePs signal_cooldown = TimePs::from_us(25);
+  /// Interval for refreshing the copy client's fluid demand.
+  TimePs accounting_period = TimePs::from_us(20);
+};
+
+/// Windowed receiver metrics (reset by begin_window()).
+struct ReceiverWindow {
+  std::int64_t processed_packets = 0;
+  std::int64_t processed_bytes = 0;
+  LogHistogram host_delay_us;   // per-packet host delay in microseconds
+  LogHistogram victim_read_us;  // victim-flow read completion latency
+};
+
+/// The receiver host.
+class ReceiverHost {
+ public:
+  /// `transmit` forwards ACKs/read-requests/signals to the fabric's
+  /// reverse path.
+  ReceiverHost(sim::Simulator& sim, mem::MemorySystem& mem, ReceiverParams params,
+               int num_senders, net::WireFormat wire, Rng rng);
+
+  ReceiverHost(const ReceiverHost&) = delete;
+  ReceiverHost& operator=(const ReceiverHost&) = delete;
+
+  /// Wires the reverse path; must be called before start().
+  void set_transmit(std::function<bool(net::Packet)> transmit);
+
+  /// Issues the initial pipeline of reads on every flow (staggered a
+  /// few microseconds to avoid synchronization artifacts).
+  void start();
+
+  /// Entry point for packets delivered by the fabric.
+  void on_arrival(net::Packet p) { nic_->on_arrival(std::move(p)); }
+
+  /// Resets the measurement window (call at warmup end).
+  void begin_window();
+
+  [[nodiscard]] const ReceiverWindow& window() const { return window_; }
+  [[nodiscard]] nic::Nic& nic() { return *nic_; }
+  [[nodiscard]] iommu::Iommu& iommu() { return *iommu_; }
+  [[nodiscard]] pcie::PcieBus& pcie() { return *pcie_; }
+  [[nodiscard]] mem::DdioModel& ddio() { return *ddio_; }
+  [[nodiscard]] const ReceiverParams& params() const { return params_; }
+
+  /// Bulk flows plus any victim flows.
+  [[nodiscard]] int num_flows() const {
+    return num_senders_ * params_.threads + params_.victim_flows;
+  }
+  [[nodiscard]] bool is_victim(std::int32_t flow) const {
+    return flow >= num_senders_ * params_.threads;
+  }
+
+  /// Bulk flow ids are laid out thread-major (flow = thread *
+  /// num_senders + sender); victim flows are appended and spread
+  /// round-robin over threads and senders.
+  [[nodiscard]] int thread_of_flow(std::int32_t flow) const {
+    if (is_victim(flow)) {
+      return (flow - num_senders_ * params_.threads) % params_.threads;
+    }
+    return flow / num_senders_;
+  }
+  [[nodiscard]] int sender_of_flow(std::int32_t flow) const {
+    if (is_victim(flow)) {
+      return (flow - num_senders_ * params_.threads) % num_senders_;
+    }
+    return flow % num_senders_;
+  }
+
+ private:
+  void on_delivered(int thread, net::Packet p, TimePs nic_arrival);
+  void on_processed(const net::Packet& p, TimePs nic_arrival);
+  void issue_read(std::int32_t flow);
+  void send_ack(const net::Packet& data, TimePs host_delay);
+  void on_buffer_pressure();
+  void refresh_copy_demand();
+
+  sim::Simulator& sim_;
+  mem::MemorySystem& mem_;
+  ReceiverParams params_;
+  int num_senders_;
+  net::WireFormat wire_;
+  Rng rng_;
+
+  std::unique_ptr<iommu::Iommu> iommu_;
+  std::unique_ptr<mem::DdioModel> ddio_;
+  std::unique_ptr<pcie::PcieBus> pcie_;
+  std::unique_ptr<nic::Nic> nic_;
+  std::vector<std::unique_ptr<RxThread>> threads_;
+  std::function<bool(net::Packet)> transmit_;
+
+  /// Packets remaining in the current read of each flow, the per-flow
+  /// read size in packets, and (victims) when the read was issued.
+  std::vector<int> read_remaining_;
+  std::vector<int> packets_per_read_;
+  std::vector<TimePs> read_issued_at_;
+  /// Per-flow payload of one read request.
+  [[nodiscard]] Bytes read_bytes_of(std::int32_t flow) const {
+    return is_victim(flow) ? params_.victim_read_size : params_.read_size;
+  }
+
+  mem::ClientId copy_client_{};
+  std::int64_t copy_accounted_bytes_ = 0;
+  std::optional<sim::PeriodicTask> accounting_;
+
+  TimePs last_signal_{};
+  ReceiverWindow window_;
+};
+
+}  // namespace hicc::host

@@ -1,0 +1,142 @@
+#include "iommu/iommu.h"
+
+#include <utility>
+
+namespace hicc::iommu {
+
+namespace {
+/// PWC tag: the IOVA prefix covered by one entry at `level`. The
+/// per-level caches are separate structures, so the prefix alone tags.
+Iova pwc_tag(Iova iova, int level) { return level_prefix(iova, level); }
+}  // namespace
+
+Iommu::Iommu(sim::Simulator& sim, mem::MemorySystem& mem, IommuParams params, Rng rng)
+    : sim_(sim),
+      mem_(mem),
+      params_(params),
+      rng_(rng),
+      iotlb_(params.iotlb_sets,
+             params.iotlb_entries / (params.iotlb_sets > 0 ? params.iotlb_sets : 1)),
+      pwc_l4_(1, params.pwc_l4_entries > 0 ? params.pwc_l4_entries : 1),
+      pwc_l3_(1, params.pwc_l3_entries > 0 ? params.pwc_l3_entries : 1),
+      pwc_l2_(1, params.pwc_l2_entries > 0 ? params.pwc_l2_entries : 1) {}
+
+void Iommu::unmap_region(RegionId id) {
+  const Region r = table_.region(id);
+  for (std::int64_t p = 0; p < r.num_pages(); ++p) {
+    if (iotlb_.invalidate(r.page_iova(p))) ++stats_.invalidations;
+  }
+  table_.unmap_region(id);
+}
+
+bool Iommu::invalidate_page(Iova iova) {
+  const auto region = table_.find(iova);
+  if (!region) return false;
+  if (iotlb_.invalidate(IoPageTable::page_base(*region, iova))) {
+    ++stats_.invalidations;
+    return true;
+  }
+  return false;
+}
+
+std::optional<TimePs> Iommu::try_translate(Iova iova) {
+  if (!params_.enabled) return TimePs(0);
+  ++stats_.lookups;
+  const auto region = table_.find(iova);
+  if (!region) {
+    // DMA fault: in hardware this aborts the transaction. The callers
+    // in this codebase only present mapped addresses; count and treat
+    // as an instantaneous completion to stay robust.
+    ++stats_.faults;
+    return TimePs(0);
+  }
+  const Iova key = IoPageTable::page_base(*region, iova);
+  if (iotlb_.lookup(key)) {
+    ++stats_.hits;
+    return params_.hit_latency;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void Iommu::translate_slow(Iova iova, std::function<void()> done) {
+  const auto region = table_.find(iova);
+  const PageSize ps = region ? region->page_size : PageSize::k4K;
+  walk_queue_.push_back(Walk{iova, ps, std::move(done), /*is_invalidation=*/false});
+  pump_walkers();
+}
+
+void Iommu::invalidate_page_async(Iova iova) {
+  (void)invalidate_page(iova);  // entry disappears immediately
+  walk_queue_.push_back(Walk{iova, PageSize::k4K, nullptr, /*is_invalidation=*/true});
+  pump_walkers();
+}
+
+void Iommu::pump_walkers() {
+  while (walkers_busy_ < params_.walkers && !walk_queue_.empty()) {
+    Walk walk = std::move(walk_queue_.front());
+    walk_queue_.pop_front();
+    ++walkers_busy_;
+
+    if (walk.is_invalidation) {
+      // Invalidation command: holds the pipeline slot, no memory reads.
+      sim_.after(params_.invalidation_latency, [this] {
+        --walkers_busy_;
+        pump_walkers();
+      });
+      continue;
+    }
+
+    // Decide which levels must be read from memory. The leaf level is
+    // always read (its absence from the IOTLB is why we are walking);
+    // upper levels are skipped when the page-walk caches cover them.
+    // Levels are read root-first: L4 -> L3 -> L2 [-> L1].
+    std::vector<int> levels;
+    const int leaf = (walk.page_size == PageSize::k4K) ? 1 : 2;
+    for (int level = 4; level >= leaf; --level) {
+      bool cached = false;
+      if (level == 4 && params_.pwc_l4_entries > 0) cached = pwc_l4_.lookup(pwc_tag(walk.iova, 4));
+      if (level == 3 && params_.pwc_l3_entries > 0) cached = pwc_l3_.lookup(pwc_tag(walk.iova, 3));
+      if (level == 2 && leaf != 2 && params_.pwc_l2_entries > 0) {
+        cached = pwc_l2_.lookup(pwc_tag(walk.iova, 2));
+      }
+      if (level == leaf || !cached) levels.push_back(level);
+    }
+    walk_step(std::move(walk), std::move(levels), 0);
+  }
+}
+
+void Iommu::walk_step(Walk walk, std::vector<int> levels, std::size_t next) {
+  if (next >= levels.size()) {
+    // Walk complete: install the leaf in the IOTLB and the traversed
+    // upper levels in the page-walk caches.
+    const auto region = table_.find(walk.iova);
+    if (region) iotlb_.insert(IoPageTable::page_base(*region, walk.iova));
+    const int leaf = (walk.page_size == PageSize::k4K) ? 1 : 2;
+    for (int level : levels) {
+      if (level == leaf) continue;
+      if (level == 4) pwc_l4_.insert(pwc_tag(walk.iova, 4));
+      if (level == 3) pwc_l3_.insert(pwc_tag(walk.iova, 3));
+      if (level == 2) pwc_l2_.insert(pwc_tag(walk.iova, 2));
+    }
+    ++stats_.walks_completed;
+    --walkers_busy_;
+    auto done = std::move(walk.done);
+    pump_walkers();
+    if (done) done();
+    return;
+  }
+  // One dependent page-table-entry read. Hot page-table entries stay
+  // resident in the CPU cache hierarchy; only the miss fraction pays a
+  // DRAM access (and shows up as memory-bus traffic).
+  ++stats_.walk_memory_reads;
+  const TimePs latency =
+      rng_.chance(params_.pt_cache_hit_fraction)
+          ? params_.pt_cache_latency
+          : mem_.request(mem::MemClass::kIommuWalk, mem::kCacheLine, true);
+  sim_.after(latency, [this, walk = std::move(walk), levels = std::move(levels), next]() mutable {
+    walk_step(std::move(walk), std::move(levels), next + 1);
+  });
+}
+
+}  // namespace hicc::iommu

@@ -1,0 +1,148 @@
+// The IO memory management unit (§2 step 4, §3.1).
+//
+// Every DMA initiated by the NIC carries an IO virtual address; the
+// PCIe root complex asks the IOMMU to translate it. Translations are
+// served by the IOTLB (a small cache -- 128 entries on the paper's
+// testbed) in a few nanoseconds; a miss requires a page-table walk of
+// one or more dependent memory reads (fewer when the page-walk caches
+// hold the upper levels), each subject to the current memory-bus load.
+// Walks are performed by a small pool of hardware walkers; when all
+// walkers are busy, walk requests queue.
+//
+// This is the mechanism chain behind Figures 3-5: more registered
+// pages -> IOTLB overflow -> misses per packet -> hundreds of ns of
+// extra per-DMA latency -> PCIe credit throughput ceiling.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "iommu/lru_cache.h"
+#include "iommu/page_table.h"
+#include "mem/memory_system.h"
+#include "sim/simulator.h"
+
+namespace hicc::iommu {
+
+/// Configuration of the IOMMU hardware.
+struct IommuParams {
+  /// Master switch: when false, DMA addresses are physical and the
+  /// translation path is skipped entirely (the paper's "IOMMU OFF").
+  bool enabled = true;
+  /// IOTLB capacity in entries (paper testbed: 128).
+  int iotlb_entries = 128;
+  /// IOTLB sets; 1 = fully associative (default).
+  int iotlb_sets = 1;
+  /// IOTLB hit latency ("a few nanoseconds", §3.1).
+  TimePs hit_latency = TimePs::from_ns(2);
+  /// Page-walk cache sizes per level (entries). Zero disables a level.
+  int pwc_l4_entries = 8;
+  int pwc_l3_entries = 8;
+  int pwc_l2_entries = 32;
+  /// Number of concurrent hardware page walkers.
+  int walkers = 2;
+  /// Service time of one IOTLB invalidation command; invalidations
+  /// share the walker/command pipeline with translations, which is why
+  /// strict-mode unmapping is so expensive (§3.1).
+  TimePs invalidation_latency = TimePs::from_ns(250);
+  /// Probability that a page-table-entry read hits in the CPU cache
+  /// hierarchy (PT entries of the hot working set stay LLC-resident)
+  /// instead of going to DRAM, and its latency when it does.
+  double pt_cache_hit_fraction = 0.4;
+  TimePs pt_cache_latency = TimePs::from_ns(30);
+};
+
+/// Counters exposed to experiments (the paper's infrastructure counters).
+struct IommuStats {
+  std::int64_t lookups = 0;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t walks_completed = 0;
+  std::int64_t walk_memory_reads = 0;
+  std::int64_t invalidations = 0;
+  std::int64_t faults = 0;  // lookups outside any mapped region
+};
+
+/// The IOMMU: region registration (loose mode), IOTLB, PWC, walkers.
+class Iommu {
+ public:
+  Iommu(sim::Simulator& sim, mem::MemorySystem& mem, IommuParams params,
+        Rng rng = Rng(0x10771b));
+
+  Iommu(const Iommu&) = delete;
+  Iommu& operator=(const Iommu&) = delete;
+
+  [[nodiscard]] bool enabled() const { return params_.enabled; }
+
+  /// Registers a DMA region (called by the network stack at startup in
+  /// loose mode, or per-buffer in strict-mode experiments).
+  RegionId map_region(Bytes size, PageSize page_size) {
+    return table_.map_region(size, page_size);
+  }
+
+  /// Unmaps a region and invalidates its IOTLB entries (strict mode).
+  void unmap_region(RegionId id);
+
+  /// Invalidates the single IOTLB entry covering `iova` (per-buffer
+  /// unmap in strict mode: the mapping itself stays registered, but
+  /// the cached translation is shot down). Returns true if an entry
+  /// was present.
+  bool invalidate_page(Iova iova);
+
+  /// Queues an IOTLB invalidation command for `iova`'s page. The entry
+  /// is removed immediately, but the command occupies a walker slot
+  /// for invalidation_latency, delaying queued translations.
+  void invalidate_page_async(Iova iova);
+
+  [[nodiscard]] const Region& region(RegionId id) const { return table_.region(id); }
+  [[nodiscard]] const IoPageTable& page_table() const { return table_; }
+
+  /// Fast path: completes the translation without a page walk if
+  /// possible. Returns the translation latency on an IOTLB hit (or
+  /// zero when the IOMMU is disabled); std::nullopt means a walk is
+  /// required and the caller must use translate_slow().
+  [[nodiscard]] std::optional<TimePs> try_translate(Iova iova);
+
+  /// Slow path: queues a page walk for `iova`; `done` runs when the
+  /// translation is installed (walk latency has already elapsed on the
+  /// simulator clock). Call only after try_translate() returned nullopt.
+  void translate_slow(Iova iova, std::function<void()> done);
+
+  [[nodiscard]] const IommuStats& stats() const { return stats_; }
+
+  /// Number of distinct leaf pages currently mapped: the IOTLB
+  /// working-set size that Figures 3-5 sweep.
+  [[nodiscard]] std::int64_t mapped_pages() const { return table_.total_mapped_pages(); }
+
+ private:
+  struct Walk {
+    Iova iova;
+    PageSize page_size;
+    std::function<void()> done;
+    bool is_invalidation = false;
+  };
+
+  /// Starts queued walks while walkers are available.
+  void pump_walkers();
+  /// Executes one level read of `walk`; chains to the next level.
+  void walk_step(Walk walk, std::vector<int> levels, std::size_t next);
+
+  sim::Simulator& sim_;
+  mem::MemorySystem& mem_;
+  IommuParams params_;
+  Rng rng_;
+  IoPageTable table_;
+  LruCache<Iova> iotlb_;
+  LruCache<Iova> pwc_l4_;
+  LruCache<Iova> pwc_l3_;
+  LruCache<Iova> pwc_l2_;
+  std::deque<Walk> walk_queue_;
+  int walkers_busy_ = 0;
+  IommuStats stats_;
+};
+
+}  // namespace hicc::iommu

@@ -1,0 +1,110 @@
+// Small set-associative LRU cache used for the IOTLB and the page-walk
+// caches. Capacities are tiny (tens to hundreds of entries), so each
+// set is a linear-scanned array; LRU is tracked with a global stamp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hicc::iommu {
+
+/// Set-associative LRU cache of keys (no payload: the simulator only
+/// needs presence, since the "translation" itself is synthesized).
+/// `sets == 1` gives a fully-associative cache.
+template <typename Key>
+class LruCache {
+ public:
+  /// Creates a cache of `sets` x `ways` entries.
+  LruCache(int sets, int ways) : sets_(sets), ways_(ways), slots_(static_cast<std::size_t>(sets) * static_cast<std::size_t>(ways)) {}
+
+  /// Total capacity in entries.
+  [[nodiscard]] int capacity() const { return sets_ * ways_; }
+
+  /// Looks up `key`, refreshing its LRU stamp on a hit.
+  bool lookup(const Key& key) {
+    auto [begin, end] = set_range(key);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (slots_[i].valid && slots_[i].key == key) {
+        slots_[i].stamp = ++clock_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Presence test without touching LRU state.
+  [[nodiscard]] bool contains(const Key& key) const {
+    auto [begin, end] = set_range(key);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (slots_[i].valid && slots_[i].key == key) return true;
+    }
+    return false;
+  }
+
+  /// Inserts `key`, evicting the set's LRU entry if needed. Inserting
+  /// a present key refreshes it. Returns true if an entry was evicted.
+  bool insert(const Key& key) {
+    auto [begin, end] = set_range(key);
+    std::size_t victim = begin;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (slots_[i].valid && slots_[i].key == key) {
+        slots_[i].stamp = ++clock_;
+        return false;
+      }
+      if (!slots_[i].valid) {
+        victim = i;
+      } else if (slots_[victim].valid && slots_[i].stamp < slots_[victim].stamp) {
+        victim = i;
+      }
+    }
+    const bool evicted = slots_[victim].valid;
+    slots_[victim] = Slot{key, ++clock_, true};
+    return evicted;
+  }
+
+  /// Removes `key` if present (IOTLB invalidation). Returns true if removed.
+  bool invalidate(const Key& key) {
+    auto [begin, end] = set_range(key);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (slots_[i].valid && slots_[i].key == key) {
+        slots_[i].valid = false;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Drops everything (global invalidation).
+  void clear() {
+    for (auto& s : slots_) s.valid = false;
+  }
+
+  /// Number of valid entries (for tests).
+  [[nodiscard]] int size() const {
+    int n = 0;
+    for (const auto& s : slots_) n += s.valid ? 1 : 0;
+    return n;
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    std::uint64_t stamp = 0;
+    bool valid = false;
+  };
+
+  [[nodiscard]] std::pair<std::size_t, std::size_t> set_range(const Key& key) const {
+    const std::size_t set =
+        sets_ == 1 ? 0 : std::hash<Key>{}(key) % static_cast<std::size_t>(sets_);
+    const std::size_t begin = set * static_cast<std::size_t>(ways_);
+    return {begin, begin + static_cast<std::size_t>(ways_)};
+  }
+
+  int sets_;
+  int ways_;
+  std::uint64_t clock_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace hicc::iommu

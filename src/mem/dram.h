@@ -1,0 +1,64 @@
+// DRAM channel parameters and the analytic load-latency curve.
+//
+// The testbed in the paper (§3) has 6 DDR4-2400 channels per NUMA node:
+// 115.2 GB/s theoretical peak, ~90 GB/s achievable by STREAM. We model
+// the memory bus of one NUMA node as a single shared server whose
+// capacity is theoretical peak x an efficiency factor (bank conflicts,
+// read/write turnaround), and whose latency follows a standard
+// closed-system load-latency curve: flat near idle, growing sharply as
+// offered load approaches the achievable bandwidth.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace hicc::mem {
+
+/// Static description of one NUMA node's DRAM resources.
+struct DramParams {
+  /// Number of memory channels attached to this NUMA node.
+  int channels = 6;
+  /// Per-channel data rate in mega-transfers/second (DDR4-2400).
+  double mega_transfers_per_sec = 2400.0;
+  /// Bus width per channel in bytes (64-bit DDR bus).
+  int bus_bytes = 8;
+  /// Fraction of theoretical bandwidth achievable with a mixed
+  /// read/write streaming pattern (bank conflicts, turnaround, refresh).
+  double efficiency = 0.78;
+  /// Unloaded (idle) access latency, CPU-to-DRAM-and-back.
+  TimePs idle_latency = TimePs::from_ns(90);
+  /// Hard cap on modeled latency under extreme overload.
+  TimePs max_latency = TimePs::from_ns(2000);
+  /// Linear and heavy-traffic coefficients of the load-latency curve.
+  double lat_linear_coeff = 0.4;
+  double lat_queueing_coeff = 0.2;
+
+  /// Theoretical peak bandwidth (115.2 GB/s for the defaults).
+  [[nodiscard]] constexpr BitRate theoretical_bw() const {
+    return BitRate(static_cast<double>(channels) * mega_transfers_per_sec * 1e6 *
+                   static_cast<double>(bus_bytes) * 8.0);
+  }
+  /// Achievable bandwidth = theoretical x efficiency (~89.9 GB/s).
+  [[nodiscard]] constexpr BitRate achievable_bw() const {
+    return theoretical_bw() * efficiency;
+  }
+
+  /// Load-latency curve: expected access latency at utilization
+  /// `rho` = offered / achievable, clamped to [0, ~1). The shape is
+  /// idle * (1 + a*rho + b*rho^2/(1-rho)) -- linear bank-pressure term
+  /// plus an M/G/1-style heavy-traffic term -- capped at max_latency.
+  [[nodiscard]] TimePs latency_at(double rho) const {
+    rho = std::clamp(rho, 0.0, 0.995);
+    const double factor =
+        1.0 + lat_linear_coeff * rho + lat_queueing_coeff * rho * rho / (1.0 - rho);
+    const double ns = std::min(idle_latency.ns() * factor, max_latency.ns());
+    return TimePs::from_ns(ns);
+  }
+};
+
+/// One DRAM cache-line transfer (the unit of memory requests).
+inline constexpr Bytes kCacheLine{64};
+
+}  // namespace hicc::mem

@@ -1,0 +1,58 @@
+// STREAM-like memory-bandwidth antagonist (§3.2's workload).
+//
+// The paper runs one STREAM instance per physical core, up to 15 cores,
+// to contend the memory bus. STREAM is a streaming closed loop: each
+// core keeps a bounded number of cache lines in flight (line-fill
+// buffers plus hardware-prefetch depth) and is additionally limited by
+// core-side fill bandwidth. We model exactly that via a closed-loop
+// fluid client of the MemorySystem.
+//
+// Defaults are calibrated to the paper's testbed: ~8.5 GB/s per core,
+// saturating the node at ~90 GB/s with 11+ cores, with a 2:1 read:write
+// mix (STREAM triad reads two arrays and writes one, and the write
+// allocates, so ~65 GB/s reads + ~25 GB/s writes at saturation).
+#pragma once
+
+#include "common/units.h"
+#include "mem/memory_system.h"
+
+namespace hicc::mem {
+
+/// Calibration knobs for the antagonist.
+struct AntagonistParams {
+  /// Core-side streaming limit of one core.
+  BitRate per_core_peak = BitRate::gigabytes_per_sec(8.5);
+  /// Bytes one core keeps outstanding to DRAM (fill buffers + prefetch).
+  Bytes per_core_outstanding = Bytes(32 * 64);
+  /// Fraction of traffic that is reads (STREAM triad ~ 2/3).
+  double read_fraction = 2.0 / 3.0;
+};
+
+/// Convenience wrapper owning the antagonist's fluid-client handle.
+class StreamAntagonist {
+ public:
+  StreamAntagonist(MemorySystem& mem, const AntagonistParams& params, int cores)
+      : mem_(mem),
+        cores_(cores),
+        id_(mem.add_closed_loop(MemClass::kAntagonist, cores, params.per_core_peak,
+                                params.per_core_outstanding, params.read_fraction)) {}
+
+  /// Number of cores currently running the antagonist.
+  [[nodiscard]] int cores() const { return cores_; }
+
+  /// Starts/stops antagonist cores.
+  void set_cores(int cores) {
+    cores_ = cores;
+    mem_.set_cores(id_, cores);
+  }
+
+  /// Currently achieved aggregate bandwidth.
+  [[nodiscard]] BitRate achieved() const { return mem_.achieved(id_); }
+
+ private:
+  MemorySystem& mem_;
+  int cores_;
+  ClientId id_;
+};
+
+}  // namespace hicc::mem

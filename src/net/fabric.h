@@ -1,0 +1,101 @@
+// The network fabric of the paper's testbed workload: N sender hosts
+// exchanging traffic with one receiver through a ToR switch.
+//
+//   sender i --uplink_i--> [ToR] --access link--> receiver NIC
+//   receiver --reverse uplink--> [ToR] --downlink_i--> sender i
+//
+// The fabric itself is deliberately uncongested in the paper's
+// experiments (all drops are at the receiver host); switch buffers
+// default deep enough that fabric drops only occur if congestion
+// control misbehaves, and are counted separately so experiments can
+// verify the "all drops are host drops" claim (Fig 1 footnote).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace hicc::net {
+
+/// Fabric topology + timing parameters.
+struct FabricParams {
+  int num_senders = 40;
+  BitRate link_rate = BitRate::gbps(100);
+  /// One-way propagation of a sender uplink / downlink (host-to-ToR).
+  TimePs edge_propagation = TimePs::from_us(2);
+  /// One-way propagation of the ToR-to-receiver access hop.
+  TimePs access_propagation = TimePs::from_us(2);
+  /// Per-port switch buffering.
+  Bytes switch_buffer = Bytes::mib(8);
+};
+
+/// N-senders-to-one-receiver fabric.
+class Fabric {
+ public:
+  /// `to_receiver` is invoked for every packet arriving at the
+  /// receiver's NIC port; `to_sender(i, p)` for packets arriving at
+  /// sender i.
+  Fabric(sim::Simulator& sim, const FabricParams& params,
+         std::function<void(Packet)> to_receiver,
+         std::function<void(int, Packet)> to_sender)
+      : params_(params), to_sender_(std::move(to_sender)) {
+    access_ = std::make_unique<QueuedLink>(sim, params.link_rate, params.access_propagation,
+                                           params.switch_buffer, std::move(to_receiver));
+    reverse_ = std::make_unique<QueuedLink>(
+        sim, params.link_rate, params.access_propagation, params.switch_buffer,
+        [this](Packet p) { route_to_sender(std::move(p)); });
+    uplinks_.reserve(static_cast<std::size_t>(params.num_senders));
+    downlinks_.reserve(static_cast<std::size_t>(params.num_senders));
+    for (int i = 0; i < params.num_senders; ++i) {
+      uplinks_.push_back(std::make_unique<QueuedLink>(
+          sim, params.link_rate, params.edge_propagation, params.switch_buffer,
+          [this](Packet p) { forward_to_access(std::move(p)); }));
+      downlinks_.push_back(std::make_unique<QueuedLink>(
+          sim, params.link_rate, params.edge_propagation, params.switch_buffer,
+          [this, i](Packet p) { to_sender_(i, std::move(p)); }));
+    }
+  }
+
+  /// Sender i transmits toward the receiver. Returns false on a
+  /// (fabric) drop.
+  bool send_from_sender(int i, Packet p) {
+    return uplinks_[static_cast<std::size_t>(i)]->send(std::move(p));
+  }
+
+  /// Receiver transmits toward sender `p.sender` (ACKs, read requests).
+  bool send_from_receiver(Packet p) { return reverse_->send(std::move(p)); }
+
+  /// Total packets dropped inside the fabric (should stay ~0; the
+  /// paper's drops are all at the host).
+  [[nodiscard]] std::int64_t fabric_drops() const {
+    std::int64_t n = access_->drops() + reverse_->drops();
+    for (const auto& l : uplinks_) n += l->drops();
+    for (const auto& l : downlinks_) n += l->drops();
+    return n;
+  }
+
+  /// Occupancy of the congestion-relevant queue (ToR access port).
+  [[nodiscard]] Bytes access_queue() const { return access_->queued(); }
+
+  [[nodiscard]] const FabricParams& params() const { return params_; }
+
+ private:
+  void forward_to_access(Packet p) { access_->send(std::move(p)); }
+  void route_to_sender(Packet p) {
+    downlinks_[static_cast<std::size_t>(p.sender)]->send(std::move(p));
+  }
+
+  FabricParams params_;
+  std::function<void(int, Packet)> to_sender_;
+  std::unique_ptr<QueuedLink> access_;
+  std::unique_ptr<QueuedLink> reverse_;
+  std::vector<std::unique_ptr<QueuedLink>> uplinks_;
+  std::vector<std::unique_ptr<QueuedLink>> downlinks_;
+};
+
+}  // namespace hicc::net

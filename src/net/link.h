@@ -1,0 +1,73 @@
+// A unidirectional link with an output queue: serialization at a fixed
+// rate, propagation delay, and a byte-bounded FIFO that tail-drops.
+// Used for sender uplinks, the ToR->receiver access link, and the
+// reverse (ACK) path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "common/units.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace hicc::net {
+
+/// Byte-bounded output-queued link.
+class QueuedLink {
+ public:
+  /// `deliver` is invoked (at arrival time) for every packet that
+  /// survives the queue.
+  QueuedLink(sim::Simulator& sim, BitRate rate, TimePs propagation, Bytes queue_capacity,
+             std::function<void(Packet)> deliver)
+      : sim_(sim),
+        rate_(rate),
+        propagation_(propagation),
+        capacity_(queue_capacity),
+        deliver_(std::move(deliver)) {}
+
+  QueuedLink(const QueuedLink&) = delete;
+  QueuedLink& operator=(const QueuedLink&) = delete;
+
+  /// Enqueues `p`; returns false (and counts a drop) when the queue
+  /// cannot hold the packet's wire bytes.
+  bool send(Packet p) {
+    if (queued_ + p.wire > capacity_) {
+      ++drops_;
+      return false;
+    }
+    // Occupancy is released at delivery (serialization + propagation),
+    // so it over-counts by at most one propagation-delay's worth of
+    // in-flight bytes; queue capacities are sized well above that.
+    queued_ += p.wire;
+    // Serialization start = when the transmitter frees up.
+    const TimePs start = std::max(busy_until_, sim_.now());
+    busy_until_ = start + rate_.time_to_send(p.wire);
+    const Bytes wire = p.wire;
+    sim_.at(busy_until_ + propagation_, [this, wire, p = std::move(p)]() mutable {
+      queued_ -= wire;
+      deliver_(std::move(p));
+    });
+    return true;
+  }
+
+  /// Bytes currently queued or in serialization.
+  [[nodiscard]] Bytes queued() const { return queued_; }
+  /// Packets tail-dropped so far.
+  [[nodiscard]] std::int64_t drops() const { return drops_; }
+  [[nodiscard]] BitRate rate() const { return rate_; }
+
+ private:
+  sim::Simulator& sim_;
+  BitRate rate_;
+  TimePs propagation_;
+  Bytes capacity_;
+  std::function<void(Packet)> deliver_;
+  TimePs busy_until_{};
+  Bytes queued_{};
+  std::int64_t drops_ = 0;
+};
+
+}  // namespace hicc::net

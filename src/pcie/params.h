@@ -1,0 +1,75 @@
+// PCIe link and root-complex parameters (§2 steps 3-6).
+//
+// The testbed uses PCIe 3.0 x16 per NIC: 8 GT/s per lane x 16 lanes =
+// 128 Gbps raw. After 128b/130b encoding and per-TLP overheads (TLP
+// header + LCRC + framing + DLLP bandwidth share), the achievable
+// goodput with 256B max-payload TLPs is ~110 Gbps -- "only nominally
+// faster than the line rate for 100Gbps NICs" (§3.1), which is why a
+// modest per-DMA latency increase translates into lost throughput.
+#pragma once
+
+#include "common/units.h"
+
+namespace hicc::pcie {
+
+/// Static PCIe + root-complex configuration.
+struct PcieParams {
+  /// Per-lane signalling rate in GT/s (gen3 = 8).
+  double gigatransfers_per_lane = 8.0;
+  int lanes = 16;
+  /// Physical-layer encoding efficiency (128b/130b for gen3).
+  double encoding = 128.0 / 130.0;
+  /// Fraction of link cycles left after DLLP (ack/flow-control) traffic.
+  double dllp_efficiency = 0.98;
+
+  /// Maximum TLP payload (typical root complexes negotiate 256B).
+  Bytes max_payload{256};
+  /// Per-TLP overhead on the wire: 12B TLP header + 4B LCRC + 2B
+  /// framing + 12B amortized sequence/ack overhead.
+  Bytes tlp_overhead{30};
+
+  /// Posted-write flow-control credits advertised by the root complex,
+  /// expressed in bytes of TLP wire data the NIC may have in flight
+  /// (header + data credits folded together).
+  Bytes credit_bytes = Bytes(16 * 1024);
+
+  /// Root-complex write buffer: bytes of translated posted writes that
+  /// may be outstanding to the memory system. When memory slows down,
+  /// this fills and backpressures the translation pipeline (and thus
+  /// credit return) -- the §3.2 mechanism.
+  Bytes write_buffer_bytes = Bytes(4 * 1024);
+
+  /// Root-complex per-TLP processing time (header decode, routing).
+  TimePs tlp_proc_time = TimePs::from_ns(3);
+
+  /// One-way latency of the physical link + serdes.
+  TimePs link_latency = TimePs::from_ns(50);
+
+  /// Extra fixed cost of an IOTLB-miss page walk beyond its memory
+  /// reads (walker setup, IOMMU pipeline).
+  TimePs walk_overhead = TimePs::from_ns(90);
+
+  /// Raw bidirectional link rate (128 Gbps for gen3 x16).
+  [[nodiscard]] constexpr BitRate raw_rate() const {
+    return BitRate(gigatransfers_per_lane * 1e9 * static_cast<double>(lanes));
+  }
+
+  /// Rate at which TLP wire bytes (payload + per-TLP overhead) move.
+  [[nodiscard]] constexpr BitRate link_rate() const {
+    return raw_rate() * encoding * dllp_efficiency;
+  }
+
+  /// Wire bytes occupied by a TLP carrying `payload` bytes.
+  [[nodiscard]] constexpr Bytes tlp_wire_bytes(Bytes payload) const {
+    return payload + tlp_overhead;
+  }
+
+  /// Effective payload goodput when streaming max-size TLPs
+  /// (~110 Gbps with the defaults; the paper's achievable PCIe rate).
+  [[nodiscard]] constexpr BitRate effective_goodput() const {
+    const double frac = max_payload / tlp_wire_bytes(max_payload);
+    return link_rate() * frac;
+  }
+};
+
+}  // namespace hicc::pcie

@@ -1,0 +1,130 @@
+// The PCIe datapath between NIC and host memory (§2 steps 3-6).
+//
+// Model, downstream (NIC -> memory) direction:
+//
+//   [NIC DMA engine] --credits--> [link serializer] --> [RC ordered queue]
+//        ^                                                   |
+//        |                                    translate (IOTLB / page walk)
+//        |                                                   v
+//        +---- credit release <--- [write buffer] ---> memory write
+//
+//  * Credit-based flow control: the NIC may only place a TLP on the
+//    link when it holds enough posted credits; credits for a TLP are
+//    returned when the root complex moves it out of its receive queue
+//    into the write buffer (i.e. after address translation).
+//  * The RC receive queue is processed in order -- PCIe posted writes
+//    cannot pass one another -- so a single IOTLB miss stalls every
+//    TLP behind it, delaying credit return. This is how per-DMA latency
+//    becomes a throughput ceiling (the paper's C*pkt/(Tbase + M*Tmiss)).
+//  * The write buffer bounds posted data outstanding to DRAM. When the
+//    memory bus is contended (§3.2) writes retire slowly, the buffer
+//    fills, the pipeline stalls, and credit return slows -- identical
+//    symptom, different root cause.
+//
+// Non-posted reads (Rx descriptor fetches, Tx/ACK payload fetches)
+// traverse the same link and ordered pipeline, then complete with a
+// memory read plus the upstream link latency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/units.h"
+#include "iommu/iommu.h"
+#include "mem/ddio.h"
+#include "mem/memory_system.h"
+#include "pcie/params.h"
+#include "sim/simulator.h"
+
+namespace hicc::pcie {
+
+/// Counters for experiments and tests.
+struct PcieStats {
+  std::int64_t write_tlps = 0;
+  std::int64_t read_tlps = 0;
+  std::int64_t bytes_written = 0;   // payload bytes DMA'd to memory
+  std::int64_t bytes_read = 0;      // payload bytes fetched from memory
+  std::int64_t translation_stalls = 0;  // head-of-line page-walk stalls
+  std::int64_t write_buffer_stalls = 0;
+  std::int64_t ddio_write_hits = 0;     // DMA writes absorbed by the LLC
+};
+
+/// One PCIe link + root complex serving one NIC. When a DdioModel is
+/// supplied, the root complex implements direct cache access: DMA
+/// writes that hit the LLC's IO ways retire at cache latency and never
+/// touch the memory bus (footnote 2 of the paper).
+class PcieBus {
+ public:
+  PcieBus(sim::Simulator& sim, mem::MemorySystem& mem, iommu::Iommu& iommu,
+          PcieParams params, mem::DdioModel* ddio = nullptr);
+
+  PcieBus(const PcieBus&) = delete;
+  PcieBus& operator=(const PcieBus&) = delete;
+
+  [[nodiscard]] const PcieParams& params() const { return params_; }
+
+  /// True when the NIC holds enough credits to emit a posted write TLP
+  /// of `payload` bytes.
+  [[nodiscard]] bool can_send_write(Bytes payload) const {
+    return credits_free_ >= params_.tlp_wire_bytes(payload);
+  }
+
+  /// Emits one posted write TLP. Preconditions: can_send_write().
+  /// `retired` fires when the payload has been written to host memory
+  /// (used for delivery timestamps and completion-queue ordering).
+  /// `pre_translated` marks a TLP whose address the device already
+  /// translated via ATS; the root complex skips the IOMMU for it.
+  void send_write_tlp(iommu::Iova iova, Bytes payload, std::function<void()> retired,
+                      bool pre_translated = false);
+
+  /// Emits one non-posted read (descriptor or Tx payload fetch) of
+  /// `payload` bytes; `done` fires when the completion reaches the NIC.
+  void send_read(iommu::Iova iova, Bytes payload, std::function<void()> done);
+
+  /// Registers the single credit-availability subscriber (the NIC DMA
+  /// engine); invoked after credits are released.
+  void on_credits_available(std::function<void()> cb) { credits_cb_ = std::move(cb); }
+
+  [[nodiscard]] Bytes credits_free() const { return credits_free_; }
+  [[nodiscard]] Bytes credits_in_use() const { return params_.credit_bytes - credits_free_; }
+  [[nodiscard]] Bytes write_buffer_used() const { return wb_used_; }
+  [[nodiscard]] std::size_t rc_queue_depth() const { return rc_queue_.size(); }
+  [[nodiscard]] const PcieStats& stats() const { return stats_; }
+
+ private:
+  struct Tlp {
+    iommu::Iova iova = 0;
+    Bytes payload{};
+    bool is_read = false;
+    bool pre_translated = false;
+    std::function<void()> done;
+  };
+
+  /// Places a TLP on the downstream link; it joins the RC queue after
+  /// serialization + propagation.
+  void transmit(Tlp tlp);
+  /// Starts processing the RC queue head if idle.
+  void pump_rc();
+  /// Head TLP's translation finished; dispatch by type.
+  void finish_translation();
+  /// Tries to move the head posted write into the write buffer.
+  void try_commit_write();
+
+  sim::Simulator& sim_;
+  mem::MemorySystem& mem_;
+  iommu::Iommu& iommu_;
+  PcieParams params_;
+  mem::DdioModel* ddio_;
+
+  Bytes credits_free_;
+  TimePs link_free_at_{};
+  std::deque<Tlp> rc_queue_;
+  bool rc_busy_ = false;
+  bool head_waiting_wb_ = false;
+  Bytes wb_used_{};
+  std::function<void()> credits_cb_;
+  PcieStats stats_;
+};
+
+}  // namespace hicc::pcie

@@ -1,0 +1,57 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace hicc::sim {
+
+EventId Simulator::at(TimePs t, Action fn) {
+  if (t < now_) t = now_;
+  const EventId id{next_seq_++};
+  queue_.push(Event{t, id.seq, std::move(fn)});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid() || id.seq >= next_seq_) return false;
+  // Tombstone; the heap entry is discarded when popped.
+  return cancelled_.insert(id.seq).second;
+}
+
+bool Simulator::run_one() {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    now_ = top.time;
+    Action fn = std::move(top.fn);
+    queue_.pop();
+    ++executed_;
+    fn();
+    return true;
+  }
+  cancelled_.clear();  // queue drained; drop any stale tombstones
+  return false;
+}
+
+void Simulator::run_until(TimePs end) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    if (end < top.time) break;
+    now_ = top.time;
+    Action fn = std::move(top.fn);
+    queue_.pop();
+    ++executed_;
+    fn();
+  }
+  now_ = end;
+}
+
+}  // namespace hicc::sim

@@ -1,0 +1,110 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns a time-ordered queue of events (closures). Components
+// schedule events at absolute or relative times; ties are broken by
+// scheduling order so execution is fully deterministic. Events can be
+// cancelled by id (used for timers that are usually rearmed, e.g.
+// retransmission timeouts and pacing timers).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hicc::sim {
+
+/// Opaque handle for a scheduled event; id 0 is "invalid/none".
+struct EventId {
+  std::uint64_t seq = 0;
+  [[nodiscard]] constexpr bool valid() const { return seq != 0; }
+  constexpr bool operator==(const EventId&) const = default;
+};
+
+/// The event loop. Single-threaded by design: one Simulator per
+/// experiment run; parallelism, when wanted, is across runs.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time. Advances only inside run_* calls.
+  [[nodiscard]] TimePs now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t`. Times in the past are clamped
+  /// to now() (the event still runs, after already-due events).
+  EventId at(TimePs t, Action fn);
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  EventId after(TimePs delay, Action fn) { return at(now_ + delay, std::move(fn)); }
+
+  /// Cancels a pending event. Returns true if the event had not yet run
+  /// (or been cancelled). Safe to call with an invalid id.
+  bool cancel(EventId id);
+
+  /// Runs all events with time <= `end`, then sets now() == end.
+  void run_until(TimePs end);
+
+  /// Pops and runs the single earliest event. Returns false if idle.
+  bool run_one();
+
+  /// Number of events still queued (including cancelled tombstones).
+  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  /// Total events executed since construction (for engine benchmarks).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePs time;
+    std::uint64_t seq;
+    // Ordered as a max-heap by default; invert for earliest-first.
+    bool operator<(const Event& o) const {
+      if (time != o.time) return o.time < time;
+      return o.seq < seq;
+    }
+    mutable Action fn;  // moved out when executed
+  };
+
+  TimePs now_{};
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+/// Self-rescheduling periodic task. The task stops when destroyed or
+/// when stop() is called; the first tick fires one period from start.
+class PeriodicTask {
+ public:
+  PeriodicTask() = default;
+  PeriodicTask(Simulator& sim, TimePs period, std::function<void()> fn)
+      : sim_(&sim), period_(period), fn_(std::move(fn)) {
+    arm();
+  }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+  ~PeriodicTask() { stop(); }
+
+  void stop() {
+    if (sim_ != nullptr) sim_->cancel(pending_);
+    pending_ = {};
+  }
+
+ private:
+  void arm() {
+    pending_ = sim_->after(period_, [this] {
+      arm();  // rearm first so fn_ may stop() the task
+      fn_();
+    });
+  }
+
+  Simulator* sim_ = nullptr;
+  TimePs period_{};
+  std::function<void()> fn_;
+  EventId pending_{};
+};
+
+}  // namespace hicc::sim

@@ -1,0 +1,82 @@
+// A sender machine: hosts the sender side of one flow per receiver
+// thread and serves incoming RPC read requests from its flows' data.
+//
+// Per the paper (§2, footnote 1), sender hosts do not experience host
+// congestion -- NIC-to-CPU backpressure exists on the transmit path --
+// so senders are modeled at the transport level only: no sender-side
+// NIC/PCIe/IOMMU datapath.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "transport/flow.h"
+
+namespace hicc::transport {
+
+/// One of the N sender machines.
+class SenderHost {
+ public:
+  SenderHost(sim::Simulator& sim, std::int32_t id, net::WireFormat wire,
+             SenderFlow::SendFn send, Rng rng = Rng(0x5e17d))
+      : sim_(sim), id_(id), wire_(wire), send_(std::move(send)), rng_(rng) {}
+
+  [[nodiscard]] std::int32_t id() const { return id_; }
+
+  /// Creates the sender side of flow `flow_id` with controller `cc`.
+  SenderFlow& add_flow(std::int32_t flow_id, std::unique_ptr<CongestionControl> cc) {
+    auto flow = std::make_unique<SenderFlow>(sim_, flow_id, id_, wire_, std::move(cc),
+                                             send_, rng_.fork());
+    auto [it, inserted] = flows_.emplace(flow_id, std::move(flow));
+    return *it->second;
+  }
+
+  /// Handles a packet arriving from the fabric: a read request queues
+  /// data on the flow; an ACK advances it; a host signal fans out to
+  /// every flow. Unknown flows are ignored.
+  void on_packet(const net::Packet& p) {
+    if (p.kind == net::PacketKind::kHostSignal) {
+      on_host_signal();
+      return;
+    }
+    const auto it = flows_.find(p.flow);
+    if (it == flows_.end()) return;
+    switch (p.kind) {
+      case net::PacketKind::kReadRequest:
+        // The request's payload field carries the read size.
+        it->second->enqueue_packets(
+            std::max<std::int64_t>(1, p.payload.count() / wire_.mtu_payload.count()));
+        break;
+      case net::PacketKind::kAck:
+        it->second->on_ack(p);
+        break;
+      case net::PacketKind::kData:
+      case net::PacketKind::kHostSignal:  // handled above
+        break;
+    }
+  }
+
+  /// Fans an out-of-band host congestion signal to every flow.
+  void on_host_signal() {
+    for (auto& [id, flow] : flows_) flow->on_host_signal();
+  }
+
+  [[nodiscard]] const std::unordered_map<std::int32_t, std::unique_ptr<SenderFlow>>& flows()
+      const {
+    return flows_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  std::int32_t id_;
+  net::WireFormat wire_;
+  SenderFlow::SendFn send_;
+  Rng rng_;
+  std::unordered_map<std::int32_t, std::unique_ptr<SenderFlow>> flows_;
+};
+
+}  // namespace hicc::transport

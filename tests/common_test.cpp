@@ -1,0 +1,236 @@
+// Unit tests for the common foundation: units, RNG, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace hicc {
+namespace {
+
+using namespace hicc::literals;
+
+// ---------------------------------------------------------------- units
+
+TEST(Units, TimeConversionsRoundTrip) {
+  EXPECT_EQ(TimePs::from_ns(1.0).ps(), 1000);
+  EXPECT_EQ(TimePs::from_us(1.0).ps(), 1000000);
+  EXPECT_EQ(TimePs::from_ms(1.0).ps(), 1000000000);
+  EXPECT_DOUBLE_EQ(TimePs::from_sec(2.5).sec(), 2.5);
+  EXPECT_DOUBLE_EQ((1_us).ns(), 1000.0);
+}
+
+TEST(Units, TimeArithmetic) {
+  EXPECT_EQ(1_us + 500_ns, TimePs::from_us(1.5));
+  EXPECT_EQ(2_us - 500_ns, TimePs::from_us(1.5));
+  EXPECT_EQ((1_us) * 3, 3_us);
+  EXPECT_EQ((3_us) / 3, 1_us);
+  EXPECT_DOUBLE_EQ((1_us) / (2_us), 0.5);
+  EXPECT_LT(1_ns, 1_us);
+}
+
+TEST(Units, BytesConversions) {
+  EXPECT_EQ((1_KiB).count(), 1024);
+  EXPECT_EQ((1_MiB).count(), 1048576);
+  EXPECT_DOUBLE_EQ((1_KiB).bits(), 8192.0);
+  EXPECT_DOUBLE_EQ(Bytes::mib(2.0).mib(), 2.0);
+}
+
+TEST(Units, OneByteAt100GbpsIs80Picoseconds) {
+  // The reason the simulator uses picoseconds at all.
+  EXPECT_EQ(BitRate::gbps(100).time_to_send(1_B).ps(), 80);
+}
+
+TEST(Units, RateTimeToSendAndBack) {
+  const auto rate = BitRate::gbps(100);
+  const auto t = rate.time_to_send(4096_B);
+  EXPECT_EQ(t.ps(), 4096 * 80);
+  EXPECT_EQ(rate.bytes_in(t).count(), 4096);
+}
+
+TEST(Units, RateOfGuardsZeroTime) {
+  EXPECT_DOUBLE_EQ(rate_of(100_B, TimePs(0)).bps(), 0.0);
+  EXPECT_NEAR(rate_of(12500_B, 1_us).gbps(), 100.0, 1e-9);
+}
+
+TEST(Units, GigabytesPerSecond) {
+  EXPECT_DOUBLE_EQ(BitRate::gigabytes_per_sec(11.52).gigabytes_per_sec(), 11.52);
+  EXPECT_DOUBLE_EQ(BitRate::gigabytes_per_sec(1.0).gbps(), 8.0);
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(3);
+  std::array<int, 8> seen{};
+  for (int i = 0; i < 8000; ++i) ++seen[rng.below(8)];
+  for (int c : seen) EXPECT_GT(c, 800);  // ~1000 expected each
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo |= (v == -2);
+    hi |= (v == 2);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  // Child stream should not equal the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent() == child());
+  EXPECT_EQ(same, 0);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(LogHistogram, PercentilesOfUniformStream) {
+  LogHistogram h;
+  for (int i = 1; i <= 10000; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 10000);
+  EXPECT_NEAR(h.percentile(50), 5000.0, 5000.0 * 0.05);
+  EXPECT_NEAR(h.percentile(99), 9900.0, 9900.0 * 0.05);
+  EXPECT_NEAR(h.mean(), 5000.5, 0.5);
+}
+
+TEST(LogHistogram, SingleValue) {
+  LogHistogram h;
+  h.add(1234.5);
+  EXPECT_NEAR(h.percentile(0), 1234.5, 1234.5 * 0.05);
+  EXPECT_NEAR(h.percentile(100), 1234.5, 1234.5 * 0.05);
+  EXPECT_DOUBLE_EQ(h.max_value(), 1234.5);
+}
+
+TEST(LogHistogram, NegativeClampsToZeroBucket) {
+  LogHistogram h;
+  h.add(-5.0);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_LT(h.percentile(50), 2.0);
+}
+
+TEST(LogHistogram, EmptyPercentileIsZero) {
+  const LogHistogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+}
+
+TEST(RateMeter, MeasuresOverWindow) {
+  RateMeter m;
+  m.reset(1_ms);
+  m.add(12500_B);  // 12500B over 1us = 100Gbps
+  EXPECT_NEAR(m.rate_at(1_ms + 1_us).gbps(), 100.0, 1e-6);
+}
+
+TEST(RateMeter, ResetClearsBytes) {
+  RateMeter m;
+  m.reset(TimePs(0));
+  m.add(1000_B);
+  m.reset(1_us);
+  EXPECT_EQ(m.bytes().count(), 0);
+}
+
+TEST(WindowedCounter, RatioAndReset) {
+  WindowedCounter c;
+  c.add(3);
+  c.add();
+  EXPECT_EQ(c.value(), 4);
+  EXPECT_DOUBLE_EQ(c.ratio_to(8), 0.5);
+  EXPECT_DOUBLE_EQ(c.ratio_to(0), 0.0);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"cores", "thpt_gbps"});
+  t.add_row({std::int64_t{2}, 23.0});
+  t.add_row({std::int64_t{16}, 75.5});
+  std::ostringstream os;
+  t.print(os, 1);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("cores"), std::string::npos);
+  EXPECT_NE(s.find("75.5"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({std::string("x"), 1.5});
+  std::ostringstream os;
+  t.write_csv(os, 2);
+  EXPECT_EQ(os.str(), "a,b\nx,1.50\n");
+}
+
+}  // namespace
+}  // namespace hicc

@@ -1,0 +1,289 @@
+// Full-system integration tests: assert the paper's qualitative claims
+// end to end on short (8ms warmup + 12ms measure) runs. Runs are
+// memoized across tests, so each distinct operating point simulates
+// once per test-binary invocation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.h"
+
+namespace hicc {
+namespace {
+
+using namespace hicc::literals;
+
+struct Point {
+  int threads = 12;
+  bool iommu = true;
+  bool hugepages = true;
+  int antagonists = 0;
+  int region_mb = 12;
+  transport::CcAlgorithm cc = transport::CcAlgorithm::kSwift;
+  double throttle = 0.0;
+  int pipeline = 1;
+  bool ats = false;
+  bool strict = false;
+  bool remote_numa = false;
+  int victims = 0;
+
+  [[nodiscard]] std::string key() const {
+    std::ostringstream os;
+    os << threads << '|' << iommu << '|' << hugepages << '|' << antagonists << '|'
+       << region_mb << '|' << static_cast<int>(cc) << '|' << throttle << '|' << pipeline
+       << '|' << ats << '|' << strict << '|' << remote_numa << '|' << victims;
+    return os.str();
+  }
+};
+
+const Metrics& metrics_at(const Point& p) {
+  static std::map<std::string, Metrics> cache;
+  const auto [it, inserted] = cache.try_emplace(p.key());
+  if (inserted) {
+    ExperimentConfig cfg;
+    cfg.rx_threads = p.threads;
+    cfg.iommu_enabled = p.iommu;
+    cfg.hugepages = p.hugepages;
+    cfg.antagonist_cores = p.antagonists;
+    cfg.data_region = Bytes::mib(p.region_mb);
+    cfg.cc = p.cc;
+    cfg.antagonist_throttle_gbps = p.throttle;
+    cfg.read_pipeline = p.pipeline;
+    cfg.ats_enabled = p.ats;
+    cfg.strict_iommu = p.strict;
+    cfg.antagonist_remote_numa = p.remote_numa;
+    cfg.victim_flows = p.victims;
+    cfg.warmup = 8_ms;
+    cfg.measure = 12_ms;
+    Experiment exp(cfg);
+    it->second = exp.run();
+  }
+  return it->second;
+}
+
+// ------------------------------------------------ baseline (§3 setup)
+
+TEST(Integration, BaselineIommuOffReachesGoodputCeiling) {
+  const Metrics& m = metrics_at({.iommu = false});
+  EXPECT_GT(m.app_throughput_gbps, 88.0);
+  EXPECT_LE(m.app_throughput_gbps, 92.5);
+  EXPECT_DOUBLE_EQ(m.drop_rate, 0.0);
+  EXPECT_DOUBLE_EQ(m.iotlb_misses_per_packet, 0.0);
+}
+
+TEST(Integration, BaselineHostDelayWellUnderTarget) {
+  // "when host is not a bottleneck, we measure the delay to be almost
+  // always <= 10us" (§3.1).
+  const Metrics& m = metrics_at({.iommu = false});
+  EXPECT_LT(m.host_delay_p50_us, 10.0);
+  EXPECT_LT(m.host_delay_p99_us, 30.0);
+}
+
+TEST(Integration, BaselineMemoryFootprintMatchesPaper) {
+  // §3.2: ~11.8 GB/s of NIC writes plus ~3.3 GB/s of copy reads.
+  const Metrics& m = metrics_at({.iommu = false});
+  const double nic =
+      m.memory.by_class_gbytes_per_sec[static_cast<int>(mem::MemClass::kNicDma)];
+  const double copy =
+      m.memory.by_class_gbytes_per_sec[static_cast<int>(mem::MemClass::kCpuCopy)];
+  EXPECT_NEAR(nic, 11.8, 1.0);
+  EXPECT_NEAR(copy, 3.3, 0.7);
+}
+
+TEST(Integration, CpuBottleneckRegionScalesLinearly) {
+  const Metrics& m2 = metrics_at({.threads = 2, .iommu = true});
+  const Metrics& m4 = metrics_at({.threads = 4, .iommu = true});
+  EXPECT_NEAR(m4.app_throughput_gbps / m2.app_throughput_gbps, 2.0, 0.15);
+  EXPECT_DOUBLE_EQ(m2.drop_rate, 0.0);
+  EXPECT_DOUBLE_EQ(m4.drop_rate, 0.0);
+}
+
+// --------------------------------------------- §3.1 IOMMU congestion
+
+TEST(Integration, IotlbMissesJumpBeyondEightThreads) {
+  EXPECT_LT(metrics_at({.threads = 8}).iotlb_misses_per_packet, 0.05);
+  EXPECT_GT(metrics_at({.threads = 12}).iotlb_misses_per_packet, 1.0);
+  EXPECT_GT(metrics_at({.threads = 16}).iotlb_misses_per_packet,
+            metrics_at({.threads = 12}).iotlb_misses_per_packet);
+}
+
+TEST(Integration, IommuOnDegradesThroughputAtHighThreadCounts) {
+  const Metrics& on = metrics_at({.threads = 16, .iommu = true});
+  const Metrics& off = metrics_at({.threads = 16, .iommu = false});
+  EXPECT_LT(on.app_throughput_gbps, off.app_throughput_gbps * 0.88);
+  EXPECT_GT(on.app_throughput_gbps, off.app_throughput_gbps * 0.5);
+}
+
+TEST(Integration, IommuCongestionCausesHostDrops) {
+  const Metrics& m = metrics_at({.threads = 14});
+  EXPECT_GT(m.drop_rate, 0.005);
+  EXPECT_LT(m.drop_rate, 0.10);
+  EXPECT_EQ(m.fabric_drops, 0);  // all drops are host drops (Fig 1)
+}
+
+TEST(Integration, HostDelayPinsNearSwiftTargetUnderCongestion) {
+  // The CC protocol holds the operating point around its 100us host
+  // target once the interconnect is the bottleneck.
+  const Metrics& m = metrics_at({.threads = 14});
+  EXPECT_GT(m.host_delay_p50_us, 60.0);
+  EXPECT_LT(m.host_delay_p99_us, 200.0);
+}
+
+TEST(Integration, TranslationStallsOnlyWithIommu) {
+  EXPECT_GT(metrics_at({.threads = 14, .iommu = true}).pcie_translation_stalls, 0);
+  EXPECT_EQ(metrics_at({.threads = 14, .iommu = false}).pcie_translation_stalls, 0);
+}
+
+// ------------------------------------------------- §3.1 hugepages off
+
+TEST(Integration, FourKPagesRaiseMissesAndCutThroughput) {
+  const Metrics& huge = metrics_at({.threads = 12, .hugepages = true});
+  const Metrics& small = metrics_at({.threads = 12, .hugepages = false});
+  EXPECT_GT(small.iotlb_misses_per_packet, huge.iotlb_misses_per_packet + 0.5);
+  EXPECT_LT(small.app_throughput_gbps, huge.app_throughput_gbps * 0.9);
+}
+
+TEST(Integration, FourKPagesBottleneckArrivesEarlier) {
+  // With 4K pages even 8 threads (which fit the IOTLB with hugepages)
+  // miss heavily.
+  const Metrics& m = metrics_at({.threads = 8, .hugepages = false});
+  EXPECT_GT(m.iotlb_misses_per_packet, 1.0);
+}
+
+// -------------------------------------------- §3.1 region size (BDP)
+
+TEST(Integration, LargerRegionsRaiseMissesAndCutThroughput) {
+  const Metrics& small = metrics_at({.threads = 12, .region_mb = 4});
+  const Metrics& large = metrics_at({.threads = 12, .region_mb = 16});
+  EXPECT_LT(small.iotlb_misses_per_packet, large.iotlb_misses_per_packet);
+  EXPECT_GT(small.app_throughput_gbps, large.app_throughput_gbps);
+}
+
+// ------------------------------------------------ §3.2 memory bus
+
+TEST(Integration, MemoryAntagonismDegradesThroughputWithoutIommu) {
+  const Metrics& calm = metrics_at({.iommu = false, .antagonists = 0});
+  const Metrics& noisy = metrics_at({.iommu = false, .antagonists = 15});
+  EXPECT_LT(noisy.app_throughput_gbps, calm.app_throughput_gbps * 0.9);
+  EXPECT_GT(noisy.pcie_write_buffer_stalls, 0);
+}
+
+TEST(Integration, DropsAtLowUtilization) {
+  // Fig 1 / §3.2's surprise: drops even when the access link is far
+  // from full.
+  const Metrics& m = metrics_at({.iommu = true, .antagonists = 15});
+  EXPECT_LT(m.link_utilization, 0.75);
+}
+
+TEST(Integration, MemoryBandwidthSaturatesNearAchievable) {
+  const Metrics& m = metrics_at({.iommu = false, .antagonists = 15});
+  EXPECT_GT(m.memory.total_gbytes_per_sec, 80.0);
+  EXPECT_LT(m.memory.total_gbytes_per_sec, 91.0);
+}
+
+TEST(Integration, IommuPlusAntagonismCompounds) {
+  const Metrics& off = metrics_at({.iommu = false, .antagonists = 15});
+  const Metrics& on = metrics_at({.iommu = true, .antagonists = 15});
+  EXPECT_LT(on.app_throughput_gbps, off.app_throughput_gbps);
+}
+
+// ---------------------------------------------------- §4 directions
+
+TEST(Integration, MbaThrottleRestoresThroughput) {
+  const Metrics& unthrottled = metrics_at({.iommu = false, .antagonists = 15});
+  const Metrics& throttled =
+      metrics_at({.iommu = false, .antagonists = 15, .throttle = 30.0});
+  EXPECT_GT(throttled.app_throughput_gbps, unthrottled.app_throughput_gbps + 5.0);
+}
+
+TEST(Integration, TcpLikeDropsGrowWithApplicationBacklog) {
+  // §4: "the total in-flight bytes can still exceed NIC buffer
+  // capacity" -- a loss-based protocol's exposure scales with how much
+  // data the application keeps pending, because nothing but loss
+  // bounds it.
+  const Metrics& shallow =
+      metrics_at({.threads = 14, .cc = transport::CcAlgorithm::kTcpLike});
+  const Metrics& deep = metrics_at(
+      {.threads = 14, .cc = transport::CcAlgorithm::kTcpLike, .pipeline = 16});
+  EXPECT_GT(deep.drop_rate, shallow.drop_rate * 5.0);
+  EXPECT_GT(deep.drop_rate, 0.01);
+}
+
+TEST(Integration, SwiftBoundsHostDelayRegardlessOfBacklog) {
+  // Swift's host target keeps median host delay pinned near 100us even
+  // when the application offers 16x more outstanding data.
+  const Metrics& deep = metrics_at({.threads = 14, .pipeline = 16});
+  EXPECT_LT(deep.host_delay_p50_us, 130.0);
+}
+
+TEST(Integration, SubRttHostSignalCutsDrops) {
+  const Metrics& swift = metrics_at({.threads = 14});
+  const Metrics& signal =
+      metrics_at({.threads = 14, .cc = transport::CcAlgorithm::kHostSignal});
+  EXPECT_LT(signal.drop_rate, swift.drop_rate * 0.5);
+  // ...without sacrificing throughput.
+  EXPECT_GT(signal.app_throughput_gbps, swift.app_throughput_gbps * 0.9);
+}
+
+TEST(Integration, AtsRecoversThroughputWithProtectionOn) {
+  const Metrics& base = metrics_at({.threads = 16});
+  const Metrics& ats = metrics_at({.threads = 16, .ats = true});
+  const Metrics& off = metrics_at({.threads = 16, .iommu = false});
+  EXPECT_GT(ats.app_throughput_gbps, base.app_throughput_gbps * 1.15);
+  EXPECT_GT(ats.app_throughput_gbps, off.app_throughput_gbps * 0.95);
+  EXPECT_LT(ats.drop_rate, 0.005);
+  // Memory protection is still exercised: the IOMMU still misses.
+  EXPECT_GT(ats.iotlb_misses_per_packet, 0.5);
+}
+
+TEST(Integration, StrictModeForcesMissesEvenWithSmallWorkingSets) {
+  // 4 threads fit the IOTLB trivially in loose mode; strict mode still
+  // misses on ~every payload access.
+  const Metrics& loose = metrics_at({.threads = 4});
+  const Metrics& strict = metrics_at({.threads = 4, .strict = true});
+  EXPECT_LT(loose.iotlb_misses_per_packet, 0.05);
+  EXPECT_GT(strict.iotlb_misses_per_packet, 0.8);
+}
+
+TEST(Integration, RemoteNumaPlacementRemovesContention) {
+  const Metrics& local = metrics_at({.iommu = false, .antagonists = 15});
+  const Metrics& remote =
+      metrics_at({.iommu = false, .antagonists = 15, .remote_numa = true});
+  EXPECT_GT(remote.app_throughput_gbps, 90.0);
+  EXPECT_EQ(remote.nic_buffer_drops, 0);
+  EXPECT_GT(remote.app_throughput_gbps, local.app_throughput_gbps);
+  // The antagonist still gets its bandwidth -- on the other node.
+  EXPECT_GT(remote.remote_memory.total_gbytes_per_sec, 70.0);
+  EXPECT_LT(remote.memory.total_gbytes_per_sec, 25.0);
+}
+
+TEST(Integration, VictimLatencyInflatesUnderHostCongestion) {
+  const Metrics& healthy = metrics_at({.threads = 14, .iommu = false, .victims = 8});
+  const Metrics& congested = metrics_at({.threads = 14, .iommu = true, .victims = 8});
+  ASSERT_GT(healthy.victim_reads, 50);
+  ASSERT_GT(congested.victim_reads, 20);
+  EXPECT_GT(congested.victim_read_p99_us, healthy.victim_read_p99_us * 1.5);
+}
+
+// ------------------------------------------------------ conservation
+
+TEST(Integration, PacketConservationHolds) {
+  // Everything transmitted is delivered, dropped, retransmitted, or in
+  // flight; delivered can never exceed transmitted.
+  for (const Point& p : {Point{.threads = 12}, Point{.threads = 16},
+                         Point{.iommu = false, .antagonists = 15}}) {
+    const Metrics& m = metrics_at(p);
+    EXPECT_LE(m.delivered_packets, m.data_packets_sent);
+    EXPECT_LE(m.nic_buffer_drops, m.data_packets_sent);
+    // In-flight at window boundaries is bounded by buffer + pipe.
+    EXPECT_NEAR(static_cast<double>(m.data_packets_sent),
+                static_cast<double>(m.delivered_packets + m.nic_buffer_drops),
+                2000.0)
+        << p.key();
+  }
+}
+
+}  // namespace
+}  // namespace hicc

@@ -1,0 +1,171 @@
+// Unit tests for the discrete-event engine: ordering, cancellation,
+// determinism, periodic tasks, and a queueing sanity property.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace hicc::sim {
+namespace {
+
+using namespace hicc::literals;
+
+TEST(Simulator, StartsAtZeroIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePs(0));
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.run_one());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(3_us, [&] { order.push_back(3); });
+  sim.at(1_us, [&] { order.push_back(1); });
+  sim.at(2_us, [&] { order.push_back(2); });
+  sim.run_until(10_us);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 10_us);
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(1_us, [&] { order.push_back(1); });
+  sim.at(1_us, [&] { order.push_back(2); });
+  sim.at(1_us, [&] { order.push_back(3); });
+  sim.run_until(1_us);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NowIsEventTimeDuringExecution) {
+  Simulator sim;
+  TimePs seen{};
+  sim.at(5_us, [&] { seen = sim.now(); });
+  sim.run_until(10_us);
+  EXPECT_EQ(seen, 5_us);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  sim.run_until(5_us);
+  TimePs ran_at{};
+  sim.at(1_us, [&] { ran_at = sim.now(); });
+  sim.run_until(5_us);
+  EXPECT_EQ(ran_at, 5_us);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.after(1_us, chain);
+  };
+  sim.after(1_us, chain);
+  sim.run_until(100_us);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.executed(), 5u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int ran = 0;
+  sim.at(1_us, [&] { ++ran; });
+  sim.at(2_us, [&] { ++ran; });
+  sim.run_until(1_us);  // inclusive boundary
+  EXPECT_EQ(ran, 1);
+  sim.run_until(2_us);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int ran = 0;
+  const EventId id = sim.at(1_us, [&] { ++ran; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double-cancel reports false
+  sim.run_until(2_us);
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(Simulator, CancelInvalidIdIsSafe) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventId{}));
+  EXPECT_FALSE(sim.cancel(EventId{999}));
+}
+
+TEST(Simulator, PendingCountsUncancelledOnly) {
+  Simulator sim;
+  const auto a = sim.at(1_us, [] {});
+  sim.at(2_us, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(3_us);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunOneExecutesExactlyOne) {
+  Simulator sim;
+  int ran = 0;
+  sim.at(1_us, [&] { ++ran; });
+  sim.at(2_us, [&] { ++ran; });
+  EXPECT_TRUE(sim.run_one());
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), 1_us);
+}
+
+TEST(PeriodicTask, FiresEveryPeriodUntilStopped) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    PeriodicTask task(sim, 1_us, [&] { ++ticks; });
+    sim.run_until(5_us + 500_ns);
+    EXPECT_EQ(ticks, 5);
+    task.stop();
+    sim.run_until(10_us);
+    EXPECT_EQ(ticks, 5);
+  }
+}
+
+TEST(PeriodicTask, DestructorStops) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    PeriodicTask task(sim, 1_us, [&] { ++ticks; });
+    sim.run_until(2_us);
+  }
+  sim.run_until(10_us);
+  EXPECT_EQ(ticks, 2);
+}
+
+// Property: an M/D/1-style single server driven through the simulator
+// conserves work — all arrivals are eventually served in FIFO order.
+TEST(Simulator, FifoServerConservesWork) {
+  Simulator sim;
+  const TimePs service = 100_ns;
+  int queued = 0;
+  int served = 0;
+  TimePs busy_until{};
+  std::vector<TimePs> completions;
+  auto arrive = [&] {
+    ++queued;
+    const TimePs start = std::max(busy_until, sim.now());
+    busy_until = start + service;
+    sim.at(busy_until, [&] {
+      ++served;
+      completions.push_back(sim.now());
+    });
+  };
+  for (int i = 0; i < 100; ++i) sim.at(TimePs(i * 37'000), arrive);  // 37ns spacing < service
+  sim.run_until(TimePs::from_ms(1));
+  EXPECT_EQ(served, queued);
+  for (std::size_t i = 1; i < completions.size(); ++i) {
+    EXPECT_GE(completions[i] - completions[i - 1], service);
+  }
+}
+
+}  // namespace
+}  // namespace hicc::sim
