@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ats.dir/ablation_ats.cpp.o"
+  "CMakeFiles/ablation_ats.dir/ablation_ats.cpp.o.d"
+  "ablation_ats"
+  "ablation_ats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

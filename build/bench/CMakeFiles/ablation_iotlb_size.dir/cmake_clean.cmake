@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iotlb_size.dir/ablation_iotlb_size.cpp.o"
+  "CMakeFiles/ablation_iotlb_size.dir/ablation_iotlb_size.cpp.o.d"
+  "ablation_iotlb_size"
+  "ablation_iotlb_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iotlb_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_isolation.dir/ablation_isolation.cpp.o"
+  "CMakeFiles/ablation_isolation.dir/ablation_isolation.cpp.o.d"
+  "ablation_isolation"
+  "ablation_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_link_gen.dir/ablation_link_gen.cpp.o"
+  "CMakeFiles/ablation_link_gen.dir/ablation_link_gen.cpp.o.d"
+  "ablation_link_gen"
+  "ablation_link_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_link_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nic_buffer.dir/ablation_nic_buffer.cpp.o"
+  "CMakeFiles/ablation_nic_buffer.dir/ablation_nic_buffer.cpp.o.d"
+  "ablation_nic_buffer"
+  "ablation_nic_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nic_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_numa_reschedule.dir/ablation_numa_reschedule.cpp.o"
+  "CMakeFiles/ablation_numa_reschedule.dir/ablation_numa_reschedule.cpp.o.d"
+  "ablation_numa_reschedule"
+  "ablation_numa_reschedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_numa_reschedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

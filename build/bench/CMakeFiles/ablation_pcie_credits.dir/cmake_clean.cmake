@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pcie_credits.dir/ablation_pcie_credits.cpp.o"
+  "CMakeFiles/ablation_pcie_credits.dir/ablation_pcie_credits.cpp.o.d"
+  "ablation_pcie_credits"
+  "ablation_pcie_credits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pcie_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

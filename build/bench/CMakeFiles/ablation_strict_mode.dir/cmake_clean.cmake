@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_strict_mode.dir/ablation_strict_mode.cpp.o"
+  "CMakeFiles/ablation_strict_mode.dir/ablation_strict_mode.cpp.o.d"
+  "ablation_strict_mode"
+  "ablation_strict_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strict_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

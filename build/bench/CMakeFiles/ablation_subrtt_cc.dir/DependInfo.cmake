@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_subrtt_cc.cpp" "bench/CMakeFiles/ablation_subrtt_cc.dir/ablation_subrtt_cc.cpp.o" "gcc" "bench/CMakeFiles/ablation_subrtt_cc.dir/ablation_subrtt_cc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hicc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/hicc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/hicc_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/hicc_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/hicc_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hicc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/hicc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hicc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hicc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subrtt_cc.dir/ablation_subrtt_cc.cpp.o"
+  "CMakeFiles/ablation_subrtt_cc.dir/ablation_subrtt_cc.cpp.o.d"
+  "ablation_subrtt_cc"
+  "ablation_subrtt_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subrtt_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_target_delay.dir/ablation_target_delay.cpp.o"
+  "CMakeFiles/ablation_target_delay.dir/ablation_target_delay.cpp.o.d"
+  "ablation_target_delay"
+  "ablation_target_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_target_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

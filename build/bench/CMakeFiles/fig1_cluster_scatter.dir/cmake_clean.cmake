@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cluster_scatter.dir/fig1_cluster_scatter.cpp.o"
+  "CMakeFiles/fig1_cluster_scatter.dir/fig1_cluster_scatter.cpp.o.d"
+  "fig1_cluster_scatter"
+  "fig1_cluster_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cluster_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_iommu_cores.dir/fig3_iommu_cores.cpp.o"
+  "CMakeFiles/fig3_iommu_cores.dir/fig3_iommu_cores.cpp.o.d"
+  "fig3_iommu_cores"
+  "fig3_iommu_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_iommu_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

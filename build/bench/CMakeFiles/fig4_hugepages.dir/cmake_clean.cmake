@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hugepages.dir/fig4_hugepages.cpp.o"
+  "CMakeFiles/fig4_hugepages.dir/fig4_hugepages.cpp.o.d"
+  "fig4_hugepages"
+  "fig4_hugepages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hugepages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_region_size.dir/fig5_region_size.cpp.o"
+  "CMakeFiles/fig5_region_size.dir/fig5_region_size.cpp.o.d"
+  "fig5_region_size"
+  "fig5_region_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_region_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

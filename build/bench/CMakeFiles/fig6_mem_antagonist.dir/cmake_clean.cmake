@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mem_antagonist.dir/fig6_mem_antagonist.cpp.o"
+  "CMakeFiles/fig6_mem_antagonist.dir/fig6_mem_antagonist.cpp.o.d"
+  "fig6_mem_antagonist"
+  "fig6_mem_antagonist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mem_antagonist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

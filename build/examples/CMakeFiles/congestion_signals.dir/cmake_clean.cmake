@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_signals.dir/congestion_signals.cpp.o"
+  "CMakeFiles/congestion_signals.dir/congestion_signals.cpp.o.d"
+  "congestion_signals"
+  "congestion_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

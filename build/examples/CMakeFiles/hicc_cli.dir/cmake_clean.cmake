@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hicc_cli.dir/hicc_cli.cpp.o"
+  "CMakeFiles/hicc_cli.dir/hicc_cli.cpp.o.d"
+  "hicc_cli"
+  "hicc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hicc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

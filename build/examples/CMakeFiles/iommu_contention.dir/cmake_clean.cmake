@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iommu_contention.dir/iommu_contention.cpp.o"
+  "CMakeFiles/iommu_contention.dir/iommu_contention.cpp.o.d"
+  "iommu_contention"
+  "iommu_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iommu_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_antagonist.dir/memory_antagonist.cpp.o"
+  "CMakeFiles/memory_antagonist.dir/memory_antagonist.cpp.o.d"
+  "memory_antagonist"
+  "memory_antagonist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_antagonist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hicc_common.dir/rng.cpp.o"
+  "CMakeFiles/hicc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hicc_common.dir/stats.cpp.o"
+  "CMakeFiles/hicc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hicc_common.dir/table.cpp.o"
+  "CMakeFiles/hicc_common.dir/table.cpp.o.d"
+  "libhicc_common.a"
+  "libhicc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hicc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhicc_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hicc_core.dir/experiment.cpp.o"
+  "CMakeFiles/hicc_core.dir/experiment.cpp.o.d"
+  "libhicc_core.a"
+  "libhicc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hicc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hicc_host.dir/receiver_host.cpp.o"
+  "CMakeFiles/hicc_host.dir/receiver_host.cpp.o.d"
+  "libhicc_host.a"
+  "libhicc_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hicc_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

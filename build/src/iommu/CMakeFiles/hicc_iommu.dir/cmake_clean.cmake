@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hicc_iommu.dir/iommu.cpp.o"
+  "CMakeFiles/hicc_iommu.dir/iommu.cpp.o.d"
+  "libhicc_iommu.a"
+  "libhicc_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hicc_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

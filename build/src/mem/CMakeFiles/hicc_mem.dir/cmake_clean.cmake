@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hicc_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/hicc_mem.dir/memory_system.cpp.o.d"
+  "libhicc_mem.a"
+  "libhicc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hicc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

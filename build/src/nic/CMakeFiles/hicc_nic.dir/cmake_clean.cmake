@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hicc_nic.dir/nic.cpp.o"
+  "CMakeFiles/hicc_nic.dir/nic.cpp.o.d"
+  "libhicc_nic.a"
+  "libhicc_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hicc_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hicc_pcie.dir/pcie_bus.cpp.o"
+  "CMakeFiles/hicc_pcie.dir/pcie_bus.cpp.o.d"
+  "libhicc_pcie.a"
+  "libhicc_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hicc_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hicc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hicc_sim.dir/simulator.cpp.o.d"
+  "libhicc_sim.a"
+  "libhicc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hicc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hicc_transport.dir/flow.cpp.o"
+  "CMakeFiles/hicc_transport.dir/flow.cpp.o.d"
+  "CMakeFiles/hicc_transport.dir/swift.cpp.o"
+  "CMakeFiles/hicc_transport.dir/swift.cpp.o.d"
+  "libhicc_transport.a"
+  "libhicc_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hicc_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
