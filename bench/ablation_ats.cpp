@@ -6,6 +6,8 @@
 // itself (device TLB, prefetched at packet arrival), so IOTLB misses
 // never stall the root complex's ordered posted-write pipeline --
 // memory protection stays on, the throughput ceiling goes away.
+#include <vector>
+
 #include "bench_util.h"
 
 using namespace hicc;
@@ -19,7 +21,9 @@ int main() {
 
   Table t({"cores", "app_gbps_iommu", "app_gbps_ats", "app_gbps_iommu_off",
            "drop_pct_iommu", "drop_pct_ats", "misses_per_pkt_iommu"});
-  for (int c : {10, 12, 14, 16}) {
+  const std::vector<int> cores = {10, 12, 14, 16};
+  std::vector<ExperimentConfig> cfgs;
+  for (int c : cores) {
     ExperimentConfig base = bench::base_config();
     base.rx_threads = c;
 
@@ -29,13 +33,21 @@ int main() {
     ExperimentConfig off = base;
     off.iommu_enabled = false;
 
-    const Metrics mb = bench::run(base);
-    const Metrics ma = bench::run(ats);
-    const Metrics mo = bench::run(off);
-    t.add_row({std::int64_t{c}, mb.app_throughput_gbps, ma.app_throughput_gbps,
+    cfgs.push_back(base);
+    cfgs.push_back(ats);
+    cfgs.push_back(off);
+  }
+
+  const auto results = bench::sweep(cfgs);
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    const Metrics& mb = results[3 * i].metrics;
+    const Metrics& ma = results[3 * i + 1].metrics;
+    const Metrics& mo = results[3 * i + 2].metrics;
+    t.add_row({std::int64_t{cores[i]}, mb.app_throughput_gbps, ma.app_throughput_gbps,
                mo.app_throughput_gbps, mb.drop_rate * 100.0, ma.drop_rate * 100.0,
                mb.iotlb_misses_per_packet});
   }
   bench::finish(t, "ablation_ats.csv");
+  bench::save_json(results, "ablation_ats.json");
   return 0;
 }

@@ -5,6 +5,11 @@
 // the NIC stops consuming memory-bus bandwidth -- making it immune to
 // memory antagonists; (2) with DDIO off, rx-thread copies read every
 // byte from DRAM, adding ~8 GB/s of extra bus load.
+//
+// The DDIO hit rate lives in PCIe stats, not Metrics, so the sweep's
+// probe harvests it per point while each Experiment is still alive.
+#include <vector>
+
 #include "bench_util.h"
 
 using namespace hicc;
@@ -19,6 +24,7 @@ int main() {
 
   Table t({"region_mb", "ddio", "app_gbps", "ddio_hit_pct", "nic_dram_gbs",
            "copy_dram_gbs", "drop_pct"});
+  std::vector<ExperimentConfig> cfgs;
   for (double mb : {0.25, 1.0, 4.0, 12.0}) {
     for (const bool ddio_on : {true, false}) {
       ExperimentConfig cfg = bench::base_config();
@@ -27,22 +33,28 @@ int main() {
       cfg.antagonist_cores = 15;
       cfg.data_region = Bytes::mib(mb);
       cfg.ddio.enabled = ddio_on;
-
-      Experiment exp(cfg);
-      const Metrics m = exp.run();
-      const auto& ps = exp.receiver().pcie().stats();
-      const double hit_pct =
-          ps.write_tlps > 0
-              ? 100.0 * static_cast<double>(ps.ddio_write_hits) /
-                    static_cast<double>(ps.write_tlps)
-              : 0.0;
-      t.add_row({mb, std::string(ddio_on ? "on" : "off"), m.app_throughput_gbps,
-                 hit_pct,
-                 m.memory.by_class_gbytes_per_sec[static_cast<int>(mem::MemClass::kNicDma)],
-                 m.memory.by_class_gbytes_per_sec[static_cast<int>(mem::MemClass::kCpuCopy)],
-                 m.drop_rate * 100.0});
+      cfgs.push_back(cfg);
     }
   }
+
+  const auto results =
+      bench::sweep(cfgs, [](Experiment& exp, sweep::SweepResult& r) {
+        const auto& ps = exp.receiver().pcie().stats();
+        r.extra["ddio_hit_pct"] =
+            ps.write_tlps > 0 ? 100.0 * static_cast<double>(ps.ddio_write_hits) /
+                                    static_cast<double>(ps.write_tlps)
+                              : 0.0;
+      });
+  for (const auto& r : results) {
+    const Metrics& m = r.metrics;
+    t.add_row({r.config.data_region.mib(),
+               std::string(r.config.ddio.enabled ? "on" : "off"),
+               m.app_throughput_gbps, r.extra.at("ddio_hit_pct"),
+               m.memory.by_class_gbytes_per_sec[static_cast<int>(mem::MemClass::kNicDma)],
+               m.memory.by_class_gbytes_per_sec[static_cast<int>(mem::MemClass::kCpuCopy)],
+               m.drop_rate * 100.0});
+  }
   bench::finish(t, "ablation_ddio.csv");
+  bench::save_json(results, "ablation_ddio.json");
   return 0;
 }

@@ -4,6 +4,8 @@
 // Sweeping capacity at a fixed 12-thread workload shows the congestion
 // disappearing once the registered working set fits -- the
 // architectural fix the paper's ATS/offload discussion points toward.
+#include <vector>
+
 #include "bench_util.h"
 
 using namespace hicc;
@@ -16,14 +18,21 @@ int main() {
 
   Table t({"iotlb_entries", "app_gbps", "drop_pct", "misses_per_pkt",
            "host_delay_p99_us"});
+  std::vector<ExperimentConfig> cfgs;
   for (int entries : {32, 64, 128, 256, 512, 1024}) {
     ExperimentConfig cfg = bench::base_config();
     cfg.rx_threads = 12;
     cfg.iommu.iotlb_entries = entries;
-    const Metrics m = bench::run(cfg);
-    t.add_row({std::int64_t{entries}, m.app_throughput_gbps, m.drop_rate * 100.0,
-               m.iotlb_misses_per_packet, m.host_delay_p99_us});
+    cfgs.push_back(cfg);
+  }
+
+  const auto results = bench::sweep(cfgs);
+  for (const auto& r : results) {
+    const Metrics& m = r.metrics;
+    t.add_row({std::int64_t{r.config.iommu.iotlb_entries}, m.app_throughput_gbps,
+               m.drop_rate * 100.0, m.iotlb_misses_per_packet, m.host_delay_p99_us});
   }
   bench::finish(t, "ablation_iotlb_size.csv");
+  bench::save_json(results, "ablation_iotlb_size.json");
   return 0;
 }

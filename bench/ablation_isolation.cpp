@@ -7,6 +7,8 @@
 // bulk workload, and we measure their read-completion latency with the
 // host interconnect healthy vs congested. The victims never caused the
 // congestion; they pay for it anyway.
+#include <vector>
+
 #include "bench_util.h"
 
 using namespace hicc;
@@ -33,16 +35,24 @@ int main() {
       {"iommu congestion", true, 14, 0},
       {"membus congestion", false, 14, 15},
   };
+  std::vector<ExperimentConfig> cfgs;
   for (const auto& sc : scenarios) {
     ExperimentConfig cfg = bench::base_config();
     cfg.rx_threads = sc.threads;
     cfg.iommu_enabled = sc.iommu;
     cfg.antagonist_cores = sc.antagonists;
     cfg.victim_flows = 8;
-    const Metrics m = bench::run(cfg);
-    t.add_row({std::string(sc.name), m.app_throughput_gbps, m.drop_rate * 100.0,
-               m.victim_reads, m.victim_read_p50_us, m.victim_read_p99_us});
+    cfgs.push_back(cfg);
+  }
+
+  const auto results = bench::sweep(cfgs);
+  for (std::size_t i = 0; i < std::size(scenarios); ++i) {
+    const Metrics& m = results[i].metrics;
+    t.add_row({std::string(scenarios[i].name), m.app_throughput_gbps,
+               m.drop_rate * 100.0, m.victim_reads, m.victim_read_p50_us,
+               m.victim_read_p99_us});
   }
   bench::finish(t, "ablation_isolation.csv");
+  bench::save_json(results, "ablation_isolation.json");
   return 0;
 }

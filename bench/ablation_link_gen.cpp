@@ -9,6 +9,8 @@
 // than the line rate" on the testbed); lower link latency shortens the
 // credit loop. Neither removes the translation serialization itself --
 // the ceiling moves, the mechanism stays.
+#include <vector>
+
 #include "bench_util.h"
 
 using namespace hicc;
@@ -36,16 +38,24 @@ int main() {
 
   Table t({"link", "raw_gbps", "effective_gbps", "app_gbps", "drop_pct",
            "misses_per_pkt"});
+  std::vector<ExperimentConfig> cfgs;
   for (const auto& preset : presets) {
     ExperimentConfig cfg = bench::base_config();
     cfg.rx_threads = 16;
     cfg.pcie.gigatransfers_per_lane = preset.gts;
     cfg.pcie.link_latency = preset.link_latency;
-    const Metrics m = bench::run(cfg);
-    t.add_row({std::string(preset.name), cfg.pcie.raw_rate().gbps(),
+    cfgs.push_back(cfg);
+  }
+
+  const auto results = bench::sweep(cfgs);
+  for (std::size_t i = 0; i < std::size(presets); ++i) {
+    const ExperimentConfig& cfg = results[i].config;
+    const Metrics& m = results[i].metrics;
+    t.add_row({std::string(presets[i].name), cfg.pcie.raw_rate().gbps(),
                cfg.pcie.effective_goodput().gbps(), m.app_throughput_gbps,
                m.drop_rate * 100.0, m.iotlb_misses_per_packet});
   }
   bench::finish(t, "ablation_link_gen.csv");
+  bench::save_json(results, "ablation_link_gen.json");
   return 0;
 }

@@ -4,6 +4,8 @@
 // QoS guarantees for memory bus" -- throttling the antagonist class
 // restores the NIC's share of memory bandwidth and recovers
 // NIC-to-CPU throughput without touching the network protocol.
+#include <vector>
+
 #include "bench_util.h"
 
 using namespace hicc;
@@ -17,18 +19,25 @@ int main() {
 
   Table t({"antagonist_cap_gbs", "app_gbps", "drop_pct", "mem_total_gbs",
            "mem_antagonist_gbs"});
+  std::vector<ExperimentConfig> cfgs;
   for (double cap : {0.0, 75.0, 60.0, 45.0, 30.0}) {
     ExperimentConfig cfg = bench::base_config();
     cfg.rx_threads = 12;
     cfg.iommu_enabled = false;
     cfg.antagonist_cores = 15;
     cfg.antagonist_throttle_gbps = cap;
-    const Metrics m = bench::run(cfg);
-    t.add_row({cap, m.app_throughput_gbps, m.drop_rate * 100.0,
-               m.memory.total_gbytes_per_sec,
+    cfgs.push_back(cfg);
+  }
+
+  const auto results = bench::sweep(cfgs);
+  for (const auto& r : results) {
+    const Metrics& m = r.metrics;
+    t.add_row({r.config.antagonist_throttle_gbps, m.app_throughput_gbps,
+               m.drop_rate * 100.0, m.memory.total_gbytes_per_sec,
                m.memory.by_class_gbytes_per_sec[static_cast<int>(
                    mem::MemClass::kAntagonist)]});
   }
   bench::finish(t, "ablation_mba_qos.csv");
+  bench::save_json(results, "ablation_mba_qos.json");
   return 0;
 }

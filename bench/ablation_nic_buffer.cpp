@@ -6,6 +6,8 @@
 // moves that blind window: larger buffers let the delay signal engage
 // before overflow ("stagnant NIC buffer sizes may necessitate a
 // sub-RTT response").
+#include <vector>
+
 #include "bench_util.h"
 
 using namespace hicc;
@@ -18,14 +20,21 @@ int main() {
 
   Table t({"buffer_kib", "app_gbps", "drop_pct", "host_delay_p50_us",
            "host_delay_p99_us"});
+  std::vector<ExperimentConfig> cfgs;
   for (int kib : {256, 512, 1024, 2048, 4096, 8192}) {
     ExperimentConfig cfg = bench::base_config();
     cfg.rx_threads = 14;
     cfg.nic.input_buffer = Bytes(static_cast<std::int64_t>(kib) * 1024);
-    const Metrics m = bench::run(cfg);
-    t.add_row({std::int64_t{kib}, m.app_throughput_gbps, m.drop_rate * 100.0,
-               m.host_delay_p50_us, m.host_delay_p99_us});
+    cfgs.push_back(cfg);
+  }
+
+  const auto results = bench::sweep(cfgs);
+  for (const auto& r : results) {
+    const Metrics& m = r.metrics;
+    t.add_row({r.config.nic.input_buffer.count() / 1024, m.app_throughput_gbps,
+               m.drop_rate * 100.0, m.host_delay_p50_us, m.host_delay_p99_us});
   }
   bench::finish(t, "ablation_nic_buffer.csv");
+  bench::save_json(results, "ablation_nic_buffer.json");
   return 0;
 }

@@ -8,6 +8,8 @@
 // the NIC's memory bus entirely: the network keeps line rate AND the
 // antagonist keeps its full memory bandwidth -- a strictly better
 // allocation than throttling either side.
+#include <vector>
+
 #include "bench_util.h"
 
 using namespace hicc;
@@ -22,6 +24,7 @@ int main() {
 
   Table t({"antagonist_cores", "placement", "app_gbps", "drop_pct",
            "local_mem_gbs", "remote_mem_gbs", "antagonist_gbs"});
+  std::vector<ExperimentConfig> cfgs;
   for (int a : {8, 12, 15}) {
     for (const bool remote : {false, true}) {
       ExperimentConfig cfg = bench::base_config();
@@ -29,16 +32,23 @@ int main() {
       cfg.iommu_enabled = false;
       cfg.antagonist_cores = a;
       cfg.antagonist_remote_numa = remote;
-
-      Experiment exp(cfg);
-      const Metrics m = exp.run();
-      const double ant = exp.antagonist().achieved().gigabytes_per_sec();
-      t.add_row({std::int64_t{a}, std::string(remote ? "remote" : "nic-local"),
-                 m.app_throughput_gbps, m.drop_rate * 100.0,
-                 m.memory.total_gbytes_per_sec, m.remote_memory.total_gbytes_per_sec,
-                 ant});
+      cfgs.push_back(cfg);
     }
   }
+
+  const auto results =
+      bench::sweep(cfgs, [](Experiment& exp, sweep::SweepResult& r) {
+        r.extra["antagonist_gbs"] = exp.antagonist().achieved().gigabytes_per_sec();
+      });
+  for (const auto& r : results) {
+    const Metrics& m = r.metrics;
+    t.add_row({std::int64_t{r.config.antagonist_cores},
+               std::string(r.config.antagonist_remote_numa ? "remote" : "nic-local"),
+               m.app_throughput_gbps, m.drop_rate * 100.0,
+               m.memory.total_gbytes_per_sec, m.remote_memory.total_gbytes_per_sec,
+               r.extra.at("antagonist_gbs")});
+  }
   bench::finish(t, "ablation_numa_reschedule.csv");
+  bench::save_json(results, "ablation_numa_reschedule.json");
   return 0;
 }

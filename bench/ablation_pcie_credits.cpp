@@ -4,6 +4,8 @@
 // credits (larger C) keep more DMA bytes in flight and ride out
 // per-packet latency inflation. Sweeping the credit pool at a fixed
 // IOMMU-contended workload quantifies that design margin.
+#include <vector>
+
 #include "bench_util.h"
 
 using namespace hicc;
@@ -16,14 +18,22 @@ int main() {
 
   Table t({"credit_kib", "app_gbps", "drop_pct", "misses_per_pkt",
            "translation_stalls"});
+  std::vector<ExperimentConfig> cfgs;
   for (int kib : {4, 8, 16, 32, 64}) {
     ExperimentConfig cfg = bench::base_config();
     cfg.rx_threads = 14;
     cfg.pcie.credit_bytes = Bytes(kib * 1024);
-    const Metrics m = bench::run(cfg);
-    t.add_row({std::int64_t{kib}, m.app_throughput_gbps, m.drop_rate * 100.0,
-               m.iotlb_misses_per_packet, m.pcie_translation_stalls});
+    cfgs.push_back(cfg);
+  }
+
+  const auto results = bench::sweep(cfgs);
+  for (const auto& r : results) {
+    const Metrics& m = r.metrics;
+    t.add_row({r.config.pcie.credit_bytes.count() / 1024, m.app_throughput_gbps,
+               m.drop_rate * 100.0, m.iotlb_misses_per_packet,
+               m.pcie_translation_stalls});
   }
   bench::finish(t, "ablation_pcie_credits.csv");
+  bench::save_json(results, "ablation_pcie_credits.json");
   return 0;
 }

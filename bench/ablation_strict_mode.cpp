@@ -6,6 +6,8 @@
 // translation on delivery: every payload access walks, and the
 // invalidation commands contend with translations for the IOMMU's
 // command pipeline.
+#include <vector>
+
 #include "bench_util.h"
 
 using namespace hicc;
@@ -19,24 +21,34 @@ int main() {
 
   Table t({"cores", "app_gbps_loose", "app_gbps_strict", "misses_loose",
            "misses_strict", "invalidations_per_pkt"});
-  for (int c : {4, 8, 12, 16}) {
+  const std::vector<int> cores = {4, 8, 12, 16};
+  std::vector<ExperimentConfig> cfgs;
+  for (int c : cores) {
     ExperimentConfig loose = bench::base_config();
     loose.rx_threads = c;
     ExperimentConfig strict = loose;
     strict.strict_iommu = true;
+    cfgs.push_back(loose);
+    cfgs.push_back(strict);
+  }
 
-    const Metrics ml = bench::run(loose);
-    Experiment strict_exp(strict);
-    const Metrics ms = strict_exp.run();
-    const auto& is = strict_exp.receiver().iommu().stats();
-    const double inv_per_pkt =
-        ms.delivered_packets > 0
-            ? static_cast<double>(is.invalidations) /
-                  static_cast<double>(strict_exp.receiver().nic().stats().delivered)
-            : 0.0;
-    t.add_row({std::int64_t{c}, ml.app_throughput_gbps, ms.app_throughput_gbps,
-               ml.iotlb_misses_per_packet, ms.iotlb_misses_per_packet, inv_per_pkt});
+  const auto results =
+      bench::sweep(cfgs, [](Experiment& exp, sweep::SweepResult& r) {
+        const auto delivered = exp.receiver().nic().stats().delivered;
+        r.extra["invalidations_per_pkt"] =
+            delivered > 0 ? static_cast<double>(exp.receiver().iommu().stats().invalidations) /
+                                static_cast<double>(delivered)
+                          : 0.0;
+      });
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    const Metrics& ml = results[2 * i].metrics;
+    const sweep::SweepResult& strict = results[2 * i + 1];
+    t.add_row({std::int64_t{cores[i]}, ml.app_throughput_gbps,
+               strict.metrics.app_throughput_gbps, ml.iotlb_misses_per_packet,
+               strict.metrics.iotlb_misses_per_packet,
+               strict.extra.at("invalidations_per_pkt")});
   }
   bench::finish(t, "ablation_strict_mode.csv");
+  bench::save_json(results, "ablation_strict_mode.json");
   return 0;
 }

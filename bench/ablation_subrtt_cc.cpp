@@ -10,6 +10,8 @@
 //
 // Two operating points: IOMMU-contended (16 cores) and memory-bus
 // contended (12 cores + 15 antagonists).
+#include <vector>
+
 #include "bench_util.h"
 
 using namespace hicc;
@@ -39,6 +41,7 @@ int main() {
   const transport::CcAlgorithm algos[] = {transport::CcAlgorithm::kSwift,
                                           transport::CcAlgorithm::kTcpLike,
                                           transport::CcAlgorithm::kHostSignal};
+  std::vector<ExperimentConfig> cfgs;
   for (const bool memory_case : {false, true}) {
     for (const auto algo : algos) {
       ExperimentConfig cfg = bench::base_config();
@@ -52,29 +55,43 @@ int main() {
         cfg.rx_threads = 14;
         cfg.iommu_enabled = true;
       }
-      const Metrics m = bench::run(cfg);
-      t.add_row({std::string(memory_case ? "membus(15 antagonists)" : "iommu(14 cores)"),
-                 std::string(cc_name(algo)), m.app_throughput_gbps,
-                 m.drop_rate * 100.0, m.retransmits, m.host_delay_p50_us,
-                 m.host_delay_p99_us});
+      cfgs.push_back(cfg);
     }
+  }
+
+  const auto results = bench::sweep(cfgs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const bool memory_case = i >= std::size(algos);
+    const Metrics& m = results[i].metrics;
+    t.add_row({std::string(memory_case ? "membus(15 antagonists)" : "iommu(14 cores)"),
+               std::string(cc_name(results[i].config.cc)), m.app_throughput_gbps,
+               m.drop_rate * 100.0, m.retransmits, m.host_delay_p50_us,
+               m.host_delay_p99_us});
   }
 
   // The loss-based baseline's exposure scales with how much data the
   // application keeps pending: sweep the per-flow read pipeline.
   Table t2({"read_pipeline", "tcp_drop_pct", "swift_drop_pct"});
-  for (int pipe : {1, 4, 8, 16}) {
+  const std::vector<int> pipelines = {1, 4, 8, 16};
+  std::vector<ExperimentConfig> backlog_cfgs;
+  for (int pipe : pipelines) {
     ExperimentConfig cfg = bench::base_config();
     cfg.rx_threads = 14;
     cfg.read_pipeline = pipe;
     cfg.cc = transport::CcAlgorithm::kTcpLike;
-    const Metrics tcp = bench::run(cfg);
+    backlog_cfgs.push_back(cfg);
     cfg.cc = transport::CcAlgorithm::kSwift;
-    const Metrics swift = bench::run(cfg);
-    t2.add_row({std::int64_t{pipe}, tcp.drop_rate * 100.0, swift.drop_rate * 100.0});
+    backlog_cfgs.push_back(cfg);
+  }
+  const auto backlog = bench::sweep(backlog_cfgs);
+  for (std::size_t i = 0; i < pipelines.size(); ++i) {
+    t2.add_row({std::int64_t{pipelines[i]}, backlog[2 * i].metrics.drop_rate * 100.0,
+                backlog[2 * i + 1].metrics.drop_rate * 100.0});
   }
   bench::finish(t, "ablation_subrtt_cc.csv");
+  bench::save_json(results, "ablation_subrtt_cc.json");
   std::cout << "Loss-based exposure vs application backlog:\n";
   bench::finish(t2, "ablation_subrtt_cc_backlog.csv");
+  bench::save_json(backlog, "ablation_subrtt_cc_backlog.json");
   return 0;
 }

@@ -5,6 +5,8 @@
 // Sweeping Swift's host target delay at an interconnect-congested
 // operating point shows lower targets trading throughput away without
 // eliminating drops.
+#include <vector>
+
 #include "bench_util.h"
 
 using namespace hicc;
@@ -17,14 +19,22 @@ int main() {
 
   Table t({"host_target_us", "app_gbps", "drop_pct", "host_delay_p50_us",
            "host_delay_p99_us"});
+  std::vector<ExperimentConfig> cfgs;
   for (int target_us : {25, 50, 100, 200, 400}) {
     ExperimentConfig cfg = bench::base_config();
     cfg.rx_threads = 14;
     cfg.swift.host_target = TimePs::from_us(target_us);
-    const Metrics m = bench::run(cfg);
-    t.add_row({std::int64_t{target_us}, m.app_throughput_gbps, m.drop_rate * 100.0,
-               m.host_delay_p50_us, m.host_delay_p99_us});
+    cfgs.push_back(cfg);
+  }
+
+  const auto results = bench::sweep(cfgs);
+  for (const auto& r : results) {
+    const Metrics& m = r.metrics;
+    t.add_row({static_cast<std::int64_t>(r.config.swift.host_target.us()),
+               m.app_throughput_gbps, m.drop_rate * 100.0, m.host_delay_p50_us,
+               m.host_delay_p99_us});
   }
   bench::finish(t, "ablation_target_delay.csv");
+  bench::save_json(results, "ablation_target_delay.json");
   return 0;
 }

@@ -9,7 +9,12 @@
 //   1. drop rate is positively correlated with link utilization, and
 //   2. drops occur even at low utilization (memory-bus congestion),
 // and every drop must be a host drop (the fabric stays loss-free).
+//
+// The 110 samples are independent hosts, so they run concurrently on
+// the sweep pool ($HICC_JOBS workers); config generation stays serial
+// so the sampled fleet is identical at any worker count.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <vector>
 
@@ -26,23 +31,15 @@ int main() {
       "population of low-utilization points with non-zero drops; zero fabric "
       "drops (all loss is at hosts)");
 
-  constexpr int kSamples = 110;
+  const int kSamples = bench::samples(110, 12);
   Rng rng(2022);  // deterministic sweep seed
 
-  struct Point {
-    double util;
-    double drop;
-    int threads, senders, antagonists;
-    bool iommu, hugepages;
-    int region_mb;
-  };
-  std::vector<Point> points;
-  std::int64_t fabric_drops = 0;
-
+  std::vector<ExperimentConfig> cfgs;
+  cfgs.reserve(static_cast<std::size_t>(kSamples));
   for (int i = 0; i < kSamples; ++i) {
-    ExperimentConfig cfg;
-    cfg.warmup = TimePs::from_ms(8);
-    cfg.measure = TimePs::from_ms(12);
+    ExperimentConfig cfg = bench::base_config();
+    cfg.warmup = TimePs::from_ms(bench::smoke() ? 2 : 8);
+    cfg.measure = TimePs::from_ms(bench::smoke() ? 4 : 12);
     cfg.seed = 1000 + static_cast<std::uint64_t>(i);
     cfg.rx_threads = static_cast<int>(rng.range(2, 16));
     cfg.num_senders = static_cast<int>(rng.range(8, 40));
@@ -52,51 +49,72 @@ int main() {
     // Most hosts run little antagonism; a tail runs heavy batch jobs.
     cfg.antagonist_cores =
         rng.chance(0.55) ? 0 : static_cast<int>(rng.range(4, 15));
+    cfgs.push_back(cfg);
+  }
 
-    const Metrics m = bench::run(cfg);
-    fabric_drops += m.fabric_drops;
-    points.push_back(Point{m.link_utilization, m.drop_rate, cfg.rx_threads,
-                           cfg.num_senders, cfg.antagonist_cores, cfg.iommu_enabled,
-                           cfg.hugepages,
-                           static_cast<int>(cfg.data_region.count() >> 20)});
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = bench::sweep(cfgs);
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+  std::int64_t fabric_drops = 0;
+  double per_point_wall = 0.0;
+  for (const auto& r : results) {
+    fabric_drops += r.metrics.fabric_drops;
+    per_point_wall += r.wall_seconds;
   }
 
   // Normalize drop rates as the paper does (absolute values withheld).
   double max_drop = 0.0;
-  for (const auto& p : points) max_drop = std::max(max_drop, p.drop);
+  for (const auto& r : results) max_drop = std::max(max_drop, r.metrics.drop_rate);
 
   Table t({"link_utilization", "normalized_drop_rate", "rx_threads", "senders",
            "antagonist_cores", "iommu", "hugepages", "region_mb"});
-  for (const auto& p : points) {
-    t.add_row({p.util, max_drop > 0 ? p.drop / max_drop : 0.0, std::int64_t{p.threads},
-               std::int64_t{p.senders}, std::int64_t{p.antagonists},
-               std::string(p.iommu ? "on" : "off"),
-               std::string(p.hugepages ? "on" : "off"), std::int64_t{p.region_mb}});
+  for (const auto& r : results) {
+    t.add_row({r.metrics.link_utilization,
+               max_drop > 0 ? r.metrics.drop_rate / max_drop : 0.0,
+               std::int64_t{r.config.rx_threads}, std::int64_t{r.config.num_senders},
+               std::int64_t{r.config.antagonist_cores},
+               std::string(r.config.iommu_enabled ? "on" : "off"),
+               std::string(r.config.hugepages ? "on" : "off"),
+               std::int64_t{r.config.data_region.count() >> 20}});
   }
   bench::finish(t, "fig1_cluster_scatter.csv");
+  bench::save_json(results, "fig1_cluster_scatter.json");
 
   // Summary statistics backing the figure's two claims.
   double mu = 0, md = 0;
-  for (const auto& p : points) { mu += p.util; md += p.drop; }
-  mu /= points.size(); md /= points.size();
+  for (const auto& r : results) {
+    mu += r.metrics.link_utilization;
+    md += r.metrics.drop_rate;
+  }
+  mu /= static_cast<double>(results.size());
+  md /= static_cast<double>(results.size());
   double cov = 0, vu = 0, vd = 0;
   int low_util_with_drops = 0, with_drops = 0;
-  for (const auto& p : points) {
-    cov += (p.util - mu) * (p.drop - md);
-    vu += (p.util - mu) * (p.util - mu);
-    vd += (p.drop - md) * (p.drop - md);
-    if (p.drop > 0.0005) {
+  for (const auto& r : results) {
+    const double u = r.metrics.link_utilization;
+    const double d = r.metrics.drop_rate;
+    cov += (u - mu) * (d - md);
+    vu += (u - mu) * (u - mu);
+    vd += (d - md) * (d - md);
+    if (d > 0.0005) {
       ++with_drops;
-      if (p.util < 0.6) ++low_util_with_drops;
+      if (u < 0.6) ++low_util_with_drops;
     }
   }
   const double corr = (vu > 0 && vd > 0) ? cov / std::sqrt(vu * vd) : 0.0;
-  std::printf("samples: %zu\n", points.size());
+  std::printf("samples: %zu\n", results.size());
   std::printf("utilization-drop correlation: %.3f (paper: positive)\n", corr);
   std::printf("points with drops: %d, of which at <60%% utilization: %d "
               "(paper: drops happen even at low utilization)\n",
               with_drops, low_util_with_drops);
-  std::printf("fabric drops across all runs: %lld (paper: all drops are host drops)\n\n",
+  std::printf("fabric drops across all runs: %lld (paper: all drops are host drops)\n",
               static_cast<long long>(fabric_drops));
+  std::printf("sweep wall-clock: %.2fs across %d worker(s); "
+              "serial point-time sum: %.2fs (speedup %.2fx)\n\n",
+              wall, sweep::SweepRunner::resolve_jobs(0), per_point_wall,
+              wall > 0 ? per_point_wall / wall : 0.0);
   return 0;
 }

@@ -22,19 +22,27 @@ int main() {
   Table t({"cores", "app_gbps_hugepages", "app_gbps_4k", "drop_pct_hugepages",
            "drop_pct_4k", "misses_per_pkt_hugepages", "misses_per_pkt_4k"});
 
-  for (int c : {2, 4, 6, 8, 10, 12, 14, 16}) {
+  const std::vector<int> cores = {2, 4, 6, 8, 10, 12, 14, 16};
+  std::vector<ExperimentConfig> cfgs;
+  for (int c : cores) {
     ExperimentConfig huge = bench::base_config();
     huge.rx_threads = c;
     huge.hugepages = true;
     ExperimentConfig small = huge;
     small.hugepages = false;
+    cfgs.push_back(huge);
+    cfgs.push_back(small);
+  }
 
-    const Metrics mh = bench::run(huge);
-    const Metrics ms = bench::run(small);
-    t.add_row({std::int64_t{c}, mh.app_throughput_gbps, ms.app_throughput_gbps,
+  const auto results = bench::sweep(cfgs);
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    const Metrics& mh = results[2 * i].metrics;
+    const Metrics& ms = results[2 * i + 1].metrics;
+    t.add_row({std::int64_t{cores[i]}, mh.app_throughput_gbps, ms.app_throughput_gbps,
                mh.drop_rate * 100.0, ms.drop_rate * 100.0, mh.iotlb_misses_per_packet,
                ms.iotlb_misses_per_packet});
   }
   bench::finish(t, "fig4_hugepages.csv");
+  bench::save_json(results, "fig4_hugepages.json");
   return 0;
 }

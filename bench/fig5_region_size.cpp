@@ -21,20 +21,28 @@ int main() {
   Table t({"region_mb", "app_gbps_iommu_on", "app_gbps_iommu_off", "drop_pct_on",
            "drop_pct_off", "misses_per_pkt_on"});
 
-  for (int mb : {4, 8, 12, 16}) {
+  const std::vector<int> regions_mb = {4, 8, 12, 16};
+  std::vector<ExperimentConfig> cfgs;
+  for (int mb : regions_mb) {
     ExperimentConfig on = bench::base_config();
     on.rx_threads = 12;
     on.data_region = Bytes::mib(mb);
     on.iommu_enabled = true;
     ExperimentConfig off = on;
     off.iommu_enabled = false;
+    cfgs.push_back(on);
+    cfgs.push_back(off);
+  }
 
-    const Metrics mon = bench::run(on);
-    const Metrics moff = bench::run(off);
-    t.add_row({std::int64_t{mb}, mon.app_throughput_gbps, moff.app_throughput_gbps,
-               mon.drop_rate * 100.0, moff.drop_rate * 100.0,
-               mon.iotlb_misses_per_packet});
+  const auto results = bench::sweep(cfgs);
+  for (std::size_t i = 0; i < regions_mb.size(); ++i) {
+    const Metrics& mon = results[2 * i].metrics;
+    const Metrics& moff = results[2 * i + 1].metrics;
+    t.add_row({std::int64_t{regions_mb[i]}, mon.app_throughput_gbps,
+               moff.app_throughput_gbps, mon.drop_rate * 100.0,
+               moff.drop_rate * 100.0, mon.iotlb_misses_per_packet});
   }
   bench::finish(t, "fig5_region_size.csv");
+  bench::save_json(results, "fig5_region_size.json");
   return 0;
 }

@@ -23,20 +23,28 @@ int main() {
   Table t({"antagonist_cores", "mem_total_gbs_off", "mem_total_gbs_on",
            "app_gbps_iommu_off", "app_gbps_iommu_on", "drop_pct_off", "drop_pct_on"});
 
-  for (int a : {0, 1, 2, 4, 6, 8, 10, 12, 14, 15}) {
+  const std::vector<int> antagonists = {0, 1, 2, 4, 6, 8, 10, 12, 14, 15};
+  std::vector<ExperimentConfig> cfgs;
+  for (int a : antagonists) {
     ExperimentConfig off = bench::base_config();
     off.rx_threads = 12;
     off.antagonist_cores = a;
     off.iommu_enabled = false;
     ExperimentConfig on = off;
     on.iommu_enabled = true;
+    cfgs.push_back(off);
+    cfgs.push_back(on);
+  }
 
-    const Metrics moff = bench::run(off);
-    const Metrics mon = bench::run(on);
-    t.add_row({std::int64_t{a}, moff.memory.total_gbytes_per_sec,
+  const auto results = bench::sweep(cfgs);
+  for (std::size_t i = 0; i < antagonists.size(); ++i) {
+    const Metrics& moff = results[2 * i].metrics;
+    const Metrics& mon = results[2 * i + 1].metrics;
+    t.add_row({std::int64_t{antagonists[i]}, moff.memory.total_gbytes_per_sec,
                mon.memory.total_gbytes_per_sec, moff.app_throughput_gbps,
                mon.app_throughput_gbps, moff.drop_rate * 100.0, mon.drop_rate * 100.0});
   }
   bench::finish(t, "fig6_mem_antagonist.csv");
+  bench::save_json(results, "fig6_mem_antagonist.json");
   return 0;
 }

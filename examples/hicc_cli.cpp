@@ -2,18 +2,28 @@
 //
 // Runs one experiment with every knob exposed as a --key=value flag
 // and prints the metrics (or a time series with --timeline-us=N).
+// With --runs=N it becomes a Monte-Carlo sweep: N replicas with seeds
+// derived from --seed run on the sweep thread pool (--jobs=N or
+// $HICC_JOBS workers), printing per-replica rows plus mean/stddev and
+// optionally writing the structured record with --json=path.
 //
 //   $ ./hicc_cli --threads=16 --iommu=1
 //   $ ./hicc_cli --threads=12 --antagonists=15 --iommu=0 --timeline-us=2000
 //   $ ./hicc_cli --threads=14 --cc=host-signal --victims=8
+//   $ ./hicc_cli --threads=14 --runs=16 --jobs=4 --json=sweep_results.json
 //   $ ./hicc_cli --help
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "common/table.h"
 #include "core/experiment.h"
+#include "sweep/sweep.h"
 
 namespace {
 
@@ -64,7 +74,13 @@ void usage() {
       "run control:\n"
       "  --warmup-ms=N --measure-ms=N --seed=N\n"
       "  --timeline-us=N    print a metrics row every N us instead of a\n"
-      "                     single summary");
+      "                     single summary\n"
+      "sweep (Monte-Carlo replicas):\n"
+      "  --runs=N           run N replicas with per-replica seeds derived\n"
+      "                     from --seed; prints each replica + mean/stddev\n"
+      "  --jobs=N           sweep worker threads (default: $HICC_JOBS, else\n"
+      "                     hardware concurrency)\n"
+      "  --json=PATH        write the sweep's structured record as JSON");
 }
 
 void print_metrics(const hicc::Metrics& m) {
@@ -151,6 +167,48 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "unknown --cc=%s (swift|tcp|host-signal)\n", cc.c_str());
     return 1;
+  }
+
+  const int runs = static_cast<int>(flags.number("runs", 0));
+  if (runs > 0) {
+    std::vector<hicc::ExperimentConfig> points(static_cast<std::size_t>(runs), cfg);
+    hicc::sweep::SweepOptions opts;
+    opts.jobs = static_cast<int>(flags.number("jobs", 0));
+    opts.reseed = true;
+    opts.sweep_seed = cfg.seed;
+    const hicc::sweep::SweepRunner runner(opts);
+    const auto results = runner.run(std::move(points));
+
+    hicc::Table t({"run", "seed", "app_gbps", "drop_pct", "miss_per_pkt",
+                   "p99_us", "mem_gbs", "wall_s"});
+    double sum = 0.0, sumsq = 0.0;
+    for (const auto& r : results) {
+      const hicc::Metrics& m = r.metrics;
+      sum += m.app_throughput_gbps;
+      sumsq += m.app_throughput_gbps * m.app_throughput_gbps;
+      t.add_row({static_cast<std::int64_t>(r.index),
+                 std::to_string(r.config.seed), m.app_throughput_gbps,
+                 m.drop_rate * 100.0, m.iotlb_misses_per_packet, m.host_delay_p99_us,
+                 m.memory.total_gbytes_per_sec, r.wall_seconds});
+    }
+    t.print(std::cout, 3);
+    const double n = static_cast<double>(runs);
+    const double mean = sum / n;
+    const double var = runs > 1 ? std::max(0.0, (sumsq - n * mean * mean) / (n - 1)) : 0.0;
+    std::printf("app throughput: mean %.2f Gbps, stddev %.3f over %d runs "
+                "(%d workers)\n",
+                mean, std::sqrt(var), runs, runner.jobs());
+
+    const std::string json_path = flags.str("json", "");
+    if (!json_path.empty()) {
+      if (hicc::sweep::save_json(results, json_path)) {
+        std::printf("(sweep record written to %s)\n", json_path.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+        return 1;
+      }
+    }
+    return 0;
   }
 
   hicc::Experiment exp(cfg);

@@ -22,6 +22,18 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Derives the seed for one point of a parameter sweep from the
+/// sweep-level seed and the point's index. Each (sweep_seed, index)
+/// pair maps to a statistically independent stream, and the result
+/// depends on nothing else -- so a sweep's points can run in any
+/// order, on any number of threads, and reproduce bitwise-identical
+/// results.
+constexpr std::uint64_t derive_seed(std::uint64_t sweep_seed, std::uint64_t index) {
+  std::uint64_t s = sweep_seed;
+  std::uint64_t t = splitmix64(s) + index;
+  return splitmix64(t);
+}
+
 /// xoshiro256++ generator. Satisfies std::uniform_random_bit_generator.
 class Rng {
  public:

@@ -58,7 +58,9 @@ class LogHistogram {
   [[nodiscard]] double percentile(double p) const;
 
   [[nodiscard]] std::int64_t count() const { return total_; }
-  [[nodiscard]] double mean() const { return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0; }
+  [[nodiscard]] double mean() const {
+    return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
+  }
   [[nodiscard]] double max_value() const { return max_; }
 
  private:

@@ -150,13 +150,27 @@ constexpr BitRate rate_of(Bytes n, TimePs t) {
 }
 
 namespace literals {
-constexpr TimePs operator""_ps(unsigned long long v) { return TimePs(static_cast<std::int64_t>(v)); }
-constexpr TimePs operator""_ns(unsigned long long v) { return TimePs(static_cast<std::int64_t>(v) * 1000); }
-constexpr TimePs operator""_us(unsigned long long v) { return TimePs(static_cast<std::int64_t>(v) * 1000000); }
-constexpr TimePs operator""_ms(unsigned long long v) { return TimePs(static_cast<std::int64_t>(v) * 1000000000); }
-constexpr Bytes operator""_B(unsigned long long v) { return Bytes(static_cast<std::int64_t>(v)); }
-constexpr Bytes operator""_KiB(unsigned long long v) { return Bytes(static_cast<std::int64_t>(v) * 1024); }
-constexpr Bytes operator""_MiB(unsigned long long v) { return Bytes(static_cast<std::int64_t>(v) * 1024 * 1024); }
+constexpr TimePs operator""_ps(unsigned long long v) {
+  return TimePs(static_cast<std::int64_t>(v));
+}
+constexpr TimePs operator""_ns(unsigned long long v) {
+  return TimePs(static_cast<std::int64_t>(v) * 1000);
+}
+constexpr TimePs operator""_us(unsigned long long v) {
+  return TimePs(static_cast<std::int64_t>(v) * 1000000);
+}
+constexpr TimePs operator""_ms(unsigned long long v) {
+  return TimePs(static_cast<std::int64_t>(v) * 1000000000);
+}
+constexpr Bytes operator""_B(unsigned long long v) {
+  return Bytes(static_cast<std::int64_t>(v));
+}
+constexpr Bytes operator""_KiB(unsigned long long v) {
+  return Bytes(static_cast<std::int64_t>(v) * 1024);
+}
+constexpr Bytes operator""_MiB(unsigned long long v) {
+  return Bytes(static_cast<std::int64_t>(v) * 1024 * 1024);
+}
 }  // namespace literals
 
 }  // namespace hicc

@@ -56,8 +56,8 @@ class RxThread {
     if (busy_ || queue_.empty()) return;
     busy_ = true;
     const double jitter = rng_.uniform(1.0 - params_.cost_jitter, 1.0 + params_.cost_jitter);
-    const auto cost =
-        TimePs(static_cast<std::int64_t>(static_cast<double>(params_.per_packet_cost.ps()) * jitter));
+    const auto cost = TimePs(static_cast<std::int64_t>(
+        static_cast<double>(params_.per_packet_cost.ps()) * jitter));
     sim_.after(cost, [this] {
       auto [pkt, arrival] = std::move(queue_.front());
       queue_.pop_front();

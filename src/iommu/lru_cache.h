@@ -16,7 +16,10 @@ template <typename Key>
 class LruCache {
  public:
   /// Creates a cache of `sets` x `ways` entries.
-  LruCache(int sets, int ways) : sets_(sets), ways_(ways), slots_(static_cast<std::size_t>(sets) * static_cast<std::size_t>(ways)) {}
+  LruCache(int sets, int ways)
+      : sets_(sets),
+        ways_(ways),
+        slots_(static_cast<std::size_t>(sets) * static_cast<std::size_t>(ways)) {}
 
   /// Total capacity in entries.
   [[nodiscard]] int capacity() const { return sets_ * ways_; }

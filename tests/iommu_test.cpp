@@ -310,7 +310,8 @@ TEST(Iommu, MissRateKneeAtIotlbCapacity) {
     auto access = [&](int n) {
       std::int64_t misses0 = h.iommu.stats().misses;
       for (int i = 0; i < n; ++i) {
-        const Iova a = r.page_iova(static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(working_set_pages))));
+        const Iova a = r.page_iova(static_cast<std::int64_t>(
+            rng.below(static_cast<std::uint64_t>(working_set_pages))));
         if (!h.iommu.try_translate(a).has_value()) {
           bool ok = false;
           h.iommu.translate_slow(a, [&] { ok = true; });

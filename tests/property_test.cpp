@@ -34,7 +34,8 @@ class LruGeometry : public ::testing::TestWithParam<std::tuple<int, int>> {};
 /// Reference: exact LRU per set implemented with std::list.
 class ReferenceLru {
  public:
-  ReferenceLru(int sets, int ways) : sets_(static_cast<std::size_t>(sets)), ways_(ways), lists_(sets_) {}
+  ReferenceLru(int sets, int ways)
+      : sets_(static_cast<std::size_t>(sets)), ways_(ways), lists_(sets_) {}
 
   bool lookup(std::uint64_t key) {
     auto& l = lists_[set_of(key)];
