@@ -24,6 +24,7 @@
 #include "common/table.h"
 #include "core/experiment.h"
 #include "sweep/sweep.h"
+#include "trace/exporters.h"
 
 namespace {
 
@@ -75,6 +76,14 @@ void usage() {
       "  --warmup-ms=N --measure-ms=N --seed=N\n"
       "  --timeline-us=N    print a metrics row every N us instead of a\n"
       "                     single summary\n"
+      "telemetry (docs/OBSERVABILITY.md):\n"
+      "  --trace=PATH       capture a probe time series: .csv -> long-format\n"
+      "                     CSV, anything else -> Chrome trace_event JSON\n"
+      "                     (open in chrome://tracing or ui.perfetto.dev).\n"
+      "                     $HICC_TRACE is the env equivalent. With --runs,\n"
+      "                     end-of-run probe values land in the sweep JSON\n"
+      "                     as extra.trace.* instead of per-replica files\n"
+      "  --trace-period-us=N  sampler tick in us (default 5)\n"
       "sweep (Monte-Carlo replicas):\n"
       "  --runs=N           run N replicas with per-replica seeds derived\n"
       "                     from --seed; prints each replica + mean/stddev\n"
@@ -157,6 +166,14 @@ int main(int argc, char** argv) {
   cfg.measure = TimePs::from_ms(flags.number("measure-ms", 20));
   cfg.seed = static_cast<std::uint64_t>(flags.number("seed", 1));
 
+  const char* trace_env = std::getenv("HICC_TRACE");
+  const std::string trace_path =
+      flags.str("trace", trace_env != nullptr ? trace_env : "");
+  if (!trace_path.empty()) {
+    cfg.trace.enabled = true;
+    cfg.trace.sample_period = TimePs::from_us(flags.number("trace-period-us", 5));
+  }
+
   const std::string cc = flags.str("cc", "swift");
   if (cc == "tcp") {
     cfg.cc = hicc::transport::CcAlgorithm::kTcpLike;
@@ -176,6 +193,9 @@ int main(int argc, char** argv) {
     opts.jobs = static_cast<int>(flags.number("jobs", 0));
     opts.reseed = true;
     opts.sweep_seed = cfg.seed;
+    // Replicas do not write per-run trace files; instead each point's
+    // final probe values are harvested into SweepResult::extra.
+    if (cfg.trace.enabled) opts.probe = hicc::sweep::harvest_trace;
     const hicc::sweep::SweepRunner runner(opts);
     const auto results = runner.run(std::move(points));
 
@@ -212,6 +232,22 @@ int main(int argc, char** argv) {
   }
 
   hicc::Experiment exp(cfg);
+  hicc::trace::FileTraceSink trace_file;
+  if (!trace_path.empty() && !trace_file.open(*exp.tracer(), trace_path)) {
+    std::fprintf(stderr, "failed to open trace file %s\n", trace_path.c_str());
+    return 1;
+  }
+  // Closes the capture (final sample + footer) while `exp` is alive.
+  const auto close_trace = [&]() -> bool {
+    if (trace_path.empty()) return true;
+    if (!trace_file.close(*exp.tracer())) {
+      std::fprintf(stderr, "failed to write trace file %s\n", trace_path.c_str());
+      return false;
+    }
+    std::printf("(trace written to %s)\n", trace_path.c_str());
+    return true;
+  };
+
   const double timeline_us = flags.number("timeline-us", 0.0);
   if (timeline_us > 0.0) {
     exp.start();
@@ -228,9 +264,9 @@ int main(int argc, char** argv) {
                   m.app_throughput_gbps, m.drop_rate * 100, m.iotlb_misses_per_packet,
                   m.host_delay_p99_us, m.memory.total_gbytes_per_sec);
     }
-    return 0;
+    return close_trace() ? 0 : 1;
   }
 
   print_metrics(exp.run());
-  return 0;
+  return close_trace() ? 0 : 1;
 }

@@ -1,0 +1,29 @@
+// Formatting helpers shared by the structured-output writers (sweep
+// JSON, trace CSV/Chrome-JSON).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+namespace hicc {
+
+/// Round-trip double formatting: the shortest of %.15g/%.16g/%.17g
+/// that parses back to the same value, so machine-diffable outputs are
+/// exact and stable across runs.
+inline void put_double(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  for (int precision : {15, 16}) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof shorter, "%.*g", precision, v);
+    if (std::strtod(shorter, nullptr) == v) {
+      os << shorter;
+      return;
+    }
+  }
+  os << buf;
+}
+
+}  // namespace hicc

@@ -17,6 +17,7 @@
 #include "net/packet.h"
 #include "nic/nic.h"
 #include "pcie/params.h"
+#include "trace/trace.h"
 #include "transport/cc.h"
 #include "transport/swift.h"
 
@@ -76,6 +77,12 @@ struct ExperimentConfig {
   TimePs warmup = TimePs::from_ms(10);
   TimePs measure = TimePs::from_ms(30);
   std::uint64_t seed = 1;
+
+  // ------------------------------------------------------- telemetry
+  /// Time-series tracing (docs/OBSERVABILITY.md). Off by default: with
+  /// `trace.enabled == false` no Tracer is constructed and the run is
+  /// bitwise identical to a build without the trace layer.
+  trace::TraceParams trace;
 };
 
 }  // namespace hicc

@@ -10,7 +10,12 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
   cfg_.iommu.enabled = cfg_.iommu_enabled;
   cfg_.fabric.num_senders = cfg_.num_senders;
 
-  mem_ = std::make_unique<mem::MemorySystem>(sim_, cfg_.dram, rng_.fork());
+  if (cfg_.trace.enabled) tracer_ = std::make_unique<trace::Tracer>(sim_, cfg_.trace);
+
+  // Probes cover the NIC-local NUMA node only; the remote node's
+  // mem.* probes would collide by name and it is idle in most setups.
+  mem_ = std::make_unique<mem::MemorySystem>(sim_, cfg_.dram, rng_.fork(), TimePs::from_us(5),
+                                             tracer_.get());
   remote_mem_ = std::make_unique<mem::MemorySystem>(sim_, cfg_.dram, rng_.fork());
   // §4: scheduling the memory-hungry application on the NUMA node the
   // NIC is NOT attached to removes it from the contended bus entirely.
@@ -41,7 +46,7 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
   rp.victim_read_size = cfg_.victim_read_size;
   rp.send_host_signals = (cfg_.cc == transport::CcAlgorithm::kHostSignal);
   receiver_ = std::make_unique<host::ReceiverHost>(sim_, *mem_, rp, cfg_.num_senders,
-                                                   cfg_.wire, rng_.fork());
+                                                   cfg_.wire, rng_.fork(), tracer_.get());
 
   fabric_ = std::make_unique<net::Fabric>(
       sim_, cfg_.fabric, [this](net::Packet p) { receiver_->on_arrival(std::move(p)); },
@@ -63,6 +68,20 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
 
   receiver_->set_transmit(
       [this](net::Packet p) { return fabric_->send_from_receiver(std::move(p)); });
+
+  if (tracer_ != nullptr) {
+    tracer_->gauge("transport.cwnd_avg", "packets", [this] {
+      double sum = 0.0;
+      std::int64_t flows = 0;
+      for (const auto& sender : senders_) {
+        for (const auto& [id, flow] : sender->flows()) {
+          sum += flow->cwnd();
+          ++flows;
+        }
+      }
+      return flows > 0 ? sum / static_cast<double>(flows) : 0.0;
+    });
+  }
 }
 
 Experiment::~Experiment() = default;
@@ -70,12 +89,13 @@ Experiment::~Experiment() = default;
 std::unique_ptr<transport::CongestionControl> Experiment::make_cc() {
   switch (cfg_.cc) {
     case transport::CcAlgorithm::kSwift:
-      return std::make_unique<transport::SwiftCc>(sim_, cfg_.swift);
+      return std::make_unique<transport::SwiftCc>(sim_, cfg_.swift,
+                                                  /*react_to_host_signal=*/false, tracer_.get());
     case transport::CcAlgorithm::kTcpLike:
       return std::make_unique<transport::TcpLikeCc>(sim_);
     case transport::CcAlgorithm::kHostSignal:
       return std::make_unique<transport::SwiftCc>(sim_, cfg_.swift,
-                                                  /*react_to_host_signal=*/true);
+                                                  /*react_to_host_signal=*/true, tracer_.get());
   }
   return nullptr;
 }
@@ -83,6 +103,7 @@ std::unique_ptr<transport::CongestionControl> Experiment::make_cc() {
 void Experiment::start() {
   if (started_) return;
   started_ = true;
+  if (tracer_ != nullptr) tracer_->start();
   receiver_->start();
 }
 

@@ -23,6 +23,7 @@
 #include "mem/stream_antagonist.h"
 #include "net/fabric.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 #include "transport/sender_host.h"
 
 namespace hicc {
@@ -53,6 +54,10 @@ class Experiment {
   void begin_window();
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  /// The experiment's tracer; null unless config().trace.enabled. Used
+  /// to attach a TraceSink (CSV / Chrome JSON) before start() and to
+  /// finish() the capture while the experiment is still alive.
+  [[nodiscard]] trace::Tracer* tracer() { return tracer_.get(); }
   [[nodiscard]] mem::MemorySystem& memory() { return *mem_; }
   [[nodiscard]] mem::MemorySystem& remote_memory() { return *remote_mem_; }
   [[nodiscard]] host::ReceiverHost& receiver() { return *receiver_; }
@@ -81,6 +86,10 @@ class Experiment {
   ExperimentConfig cfg_;
   Rng rng_;
   sim::Simulator sim_;
+  /// Declared before the components so probe-registering constructors
+  /// can take it, and so it outlives them (poll lambdas capture
+  /// component pointers; the tracer only calls them while sampling).
+  std::unique_ptr<trace::Tracer> tracer_;
   std::unique_ptr<mem::MemorySystem> mem_;         // NIC-local NUMA node
   std::unique_ptr<mem::MemorySystem> remote_mem_;  // the other NUMA node
   std::unique_ptr<mem::StreamAntagonist> antagonist_;

@@ -1,5 +1,11 @@
 // Metrics harvested from one experiment run -- the quantities the
 // paper's figures plot, plus supporting counters for diagnosis.
+//
+// Conventions: rates are per second of *simulated* time; `_gbps`
+// fields are decimal gigabits (1e9 bits) per second; `_us` fields are
+// microseconds; bare counters count events over the measurement
+// window (warmup excluded). For continuous time series of the same
+// quantities, enable tracing (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <cstdint>
@@ -11,50 +17,65 @@ namespace hicc {
 /// Measurement-window results of an Experiment::run().
 struct Metrics {
   // --------------------------------------------------- headline plots
-  /// Application-level throughput: payload bytes processed per second
-  /// (the paper's y-axis; ceiling ~92 Gbps at 4K MTU).
+  /// Application-level throughput: payload bytes processed per second,
+  /// in Gbit/s (the paper's y-axis; ceiling ~92 Gbps at 4K MTU).
   double app_throughput_gbps = 0.0;
-  /// Wire bytes arriving at the receiver NIC / access-link capacity
-  /// (Figure 1's x-axis).
+  /// Wire bytes arriving at the receiver NIC / access-link capacity;
+  /// dimensionless fraction of line rate (Figure 1's x-axis).
   double link_utilization = 0.0;
-  /// Host packet drops / data packets transmitted (Figure 1/3/4/5/6).
+  /// Host packet drops / data packets transmitted; dimensionless
+  /// fraction in [0, 1] (Figure 1/3/4/5/6).
   double drop_rate = 0.0;
-  /// IOTLB misses per delivered packet (Figures 3/4/5, right panels).
+  /// IOTLB misses per delivered packet; dimensionless ratio
+  /// (Figures 3/4/5, right panels).
   double iotlb_misses_per_packet = 0.0;
-  /// Total memory bandwidth on the NIC-local NUMA node, GB/s (Fig 6 top).
+  /// Memory bandwidth on the NIC-local NUMA node, decimal GB/s per
+  /// traffic class (Fig 6 top).
   mem::BandwidthReport memory;
 
   // ------------------------------------------------------ host delay
+  /// Per-packet host delay (NIC arrival -> stack processing done),
+  /// microseconds. This is the delay Swift's 100us host target sees.
   double host_delay_p50_us = 0.0;
   double host_delay_p99_us = 0.0;
   double host_delay_max_us = 0.0;
 
   // -------------------------------------- victim flows (isolation)
+  /// Completed victim reads in the window (count).
   std::int64_t victim_reads = 0;
+  /// Victim read-completion latency percentiles, microseconds.
   double victim_read_p50_us = 0.0;
   double victim_read_p99_us = 0.0;
 
   // ------------------------------- remote NUMA node (§4 experiments)
+  /// Bandwidth report of the other NUMA node, decimal GB/s.
   mem::BandwidthReport remote_memory;
 
   // -------------------------------------------------------- counters
-  std::int64_t data_packets_sent = 0;  // first transmissions + retx
-  std::int64_t retransmits = 0;
-  std::int64_t rto_fires = 0;
-  std::int64_t delivered_packets = 0;
-  std::int64_t nic_buffer_drops = 0;
-  std::int64_t fabric_drops = 0;
-  std::int64_t iotlb_misses = 0;
-  std::int64_t iotlb_lookups = 0;
-  std::int64_t pcie_translation_stalls = 0;
-  std::int64_t pcie_write_buffer_stalls = 0;
-  std::int64_t hol_descriptor_stalls = 0;
+  // All counters are packet/event counts over the measurement window.
+  std::int64_t data_packets_sent = 0;  // packets: first transmissions + retx
+  std::int64_t retransmits = 0;        // packets
+  std::int64_t rto_fires = 0;          // timeout events
+  std::int64_t delivered_packets = 0;  // packets processed by rx threads
+  std::int64_t nic_buffer_drops = 0;   // packets dropped at the NIC SRAM
+  std::int64_t fabric_drops = 0;       // packets dropped in the fabric
+  std::int64_t iotlb_misses = 0;       // translation lookups that walked
+  std::int64_t iotlb_lookups = 0;      // translation lookups total
+  std::int64_t pcie_translation_stalls = 0;  // head-of-line walk stalls
+  std::int64_t pcie_write_buffer_stalls = 0; // write-buffer-full stalls
+  std::int64_t hol_descriptor_stalls = 0;    // DMA stalls awaiting descriptors
 
   // ------------------------------------------------------- transport
+  /// Mean congestion window across all flows at window end, in
+  /// MTU-sized packets (not bytes).
   double avg_cwnd = 0.0;
 
   // -------------------------------------------------------- run info
+  /// Length of the measurement window in simulated seconds.
   double simulated_seconds = 0.0;
+  /// Total simulator events executed since construction (whole run,
+  /// not the window). The only Metrics field tracing may change:
+  /// enabling the tracer adds its sampler events here.
   std::uint64_t events_executed = 0;
 };
 

@@ -7,27 +7,36 @@ namespace hicc::host {
 
 ReceiverHost::ReceiverHost(sim::Simulator& sim, mem::MemorySystem& mem,
                            ReceiverParams params, int num_senders, net::WireFormat wire,
-                           Rng rng)
+                           Rng rng, trace::Tracer* tracer)
     : sim_(sim),
       mem_(mem),
       params_(params),
       num_senders_(num_senders),
       wire_(wire),
       rng_(rng) {
-  iommu_ = std::make_unique<iommu::Iommu>(sim_, mem_, params_.iommu, rng_.fork());
+  iommu_ = std::make_unique<iommu::Iommu>(sim_, mem_, params_.iommu, rng_.fork(), tracer);
   ddio_ = std::make_unique<mem::DdioModel>(params_.ddio, rng_.fork());
   ddio_->set_io_working_set(params_.data_region * params_.threads);
-  pcie_ = std::make_unique<pcie::PcieBus>(sim_, mem_, *iommu_, params_.pcie, ddio_.get());
+  pcie_ = std::make_unique<pcie::PcieBus>(sim_, mem_, *iommu_, params_.pcie, ddio_.get(), tracer);
   nic_ = std::make_unique<nic::Nic>(
       sim_, *pcie_, *iommu_, params_.nic, params_.threads, params_.data_region,
       params_.hugepages ? iommu::PageSize::k2M : iommu::PageSize::k4K,
-      [this](std::int32_t flow) { return thread_of_flow(flow); }, rng_.fork());
+      [this](std::int32_t flow) { return thread_of_flow(flow); }, rng_.fork(), tracer);
 
   threads_.reserve(static_cast<std::size_t>(params_.threads));
   for (int t = 0; t < params_.threads; ++t) {
     threads_.push_back(std::make_unique<RxThread>(
         sim_, t, params_.thread, rng_.fork(),
         [this](const net::Packet& p, TimePs arr) { on_processed(p, arr); }));
+  }
+  if (tracer != nullptr) {
+    // Software-side backlog: packets DMA-completed but not yet
+    // processed by the rx threads (the CPU-bottleneck observable).
+    tracer->gauge("host.rx_queue_pkts", "packets", [this] {
+      double depth = 0.0;
+      for (const auto& t : threads_) depth += static_cast<double>(t->queue_depth());
+      return depth;
+    });
   }
 
   read_remaining_.resize(static_cast<std::size_t>(num_flows()));

@@ -30,6 +30,7 @@
 #include "nic/nic.h"
 #include "pcie/pcie_bus.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 #include "host/rx_thread.h"
 
 namespace hicc::host {
@@ -83,9 +84,12 @@ struct ReceiverWindow {
 class ReceiverHost {
  public:
   /// `transmit` forwards ACKs/read-requests/signals to the fabric's
-  /// reverse path.
+  /// reverse path. `tracer`, when non-null, is handed down to the
+  /// internally-constructed NIC / PCIe bus / IOMMU (registering their
+  /// probes) and registers the `host.rx_queue_pkts` gauge.
   ReceiverHost(sim::Simulator& sim, mem::MemorySystem& mem, ReceiverParams params,
-               int num_senders, net::WireFormat wire, Rng rng);
+               int num_senders, net::WireFormat wire, Rng rng,
+               trace::Tracer* tracer = nullptr);
 
   ReceiverHost(const ReceiverHost&) = delete;
   ReceiverHost& operator=(const ReceiverHost&) = delete;

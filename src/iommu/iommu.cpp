@@ -10,7 +10,8 @@ namespace {
 Iova pwc_tag(Iova iova, int level) { return level_prefix(iova, level); }
 }  // namespace
 
-Iommu::Iommu(sim::Simulator& sim, mem::MemorySystem& mem, IommuParams params, Rng rng)
+Iommu::Iommu(sim::Simulator& sim, mem::MemorySystem& mem, IommuParams params, Rng rng,
+             trace::Tracer* tracer)
     : sim_(sim),
       mem_(mem),
       params_(params),
@@ -19,7 +20,21 @@ Iommu::Iommu(sim::Simulator& sim, mem::MemorySystem& mem, IommuParams params, Rn
              params.iotlb_entries / (params.iotlb_sets > 0 ? params.iotlb_sets : 1)),
       pwc_l4_(1, params.pwc_l4_entries > 0 ? params.pwc_l4_entries : 1),
       pwc_l3_(1, params.pwc_l3_entries > 0 ? params.pwc_l3_entries : 1),
-      pwc_l2_(1, params.pwc_l2_entries > 0 ? params.pwc_l2_entries : 1) {}
+      pwc_l2_(1, params.pwc_l2_entries > 0 ? params.pwc_l2_entries : 1) {
+  if (tracer != nullptr) {
+    // All polled from state the IOMMU already keeps: tracing adds no
+    // work to the translation fast path.
+    tracer->counter("iommu.iotlb_hits", "lookups",
+                    [this] { return static_cast<double>(stats_.hits); });
+    tracer->counter("iommu.iotlb_misses", "lookups",
+                    [this] { return static_cast<double>(stats_.misses); });
+    tracer->counter("iommu.invalidations", "commands",
+                    [this] { return static_cast<double>(stats_.invalidations); });
+    tracer->gauge("iommu.pending_walks", "walks", [this] {
+      return static_cast<double>(walk_queue_.size()) + static_cast<double>(walkers_busy_);
+    });
+  }
+}
 
 void Iommu::unmap_region(RegionId id) {
   const Region r = table_.region(id);

@@ -25,6 +25,7 @@
 #include "iommu/page_table.h"
 #include "mem/memory_system.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 namespace hicc::iommu {
 
@@ -70,8 +71,11 @@ struct IommuStats {
 /// The IOMMU: region registration (loose mode), IOTLB, PWC, walkers.
 class Iommu {
  public:
+  /// `tracer`, when non-null, registers the `iommu.*` probes (all
+  /// polled from IommuStats / walker state -- the translation hot path
+  /// is untouched).
   Iommu(sim::Simulator& sim, mem::MemorySystem& mem, IommuParams params,
-        Rng rng = Rng(0x10771b));
+        Rng rng = Rng(0x10771b), trace::Tracer* tracer = nullptr);
 
   Iommu(const Iommu&) = delete;
   Iommu& operator=(const Iommu&) = delete;

@@ -17,7 +17,8 @@ const char* to_string(MemClass cls) {
   return "?";
 }
 
-MemorySystem::MemorySystem(sim::Simulator& sim, DramParams params, Rng rng, TimePs epoch)
+MemorySystem::MemorySystem(sim::Simulator& sim, DramParams params, Rng rng, TimePs epoch,
+                           trace::Tracer* tracer)
     : sim_(sim),
       params_(params),
       rng_(rng),
@@ -25,6 +26,15 @@ MemorySystem::MemorySystem(sim::Simulator& sim, DramParams params, Rng rng, Time
       latency_(params.idle_latency),
       epoch_task_(sim, epoch, [this] { on_epoch(); }) {
   class_throttle_bps_.fill(0.0);
+  if (tracer != nullptr) {
+    // All polled: the sampler reads the operating point the epoch
+    // solver already maintains, so tracing adds nothing per request.
+    tracer->gauge("mem.bandwidth_gbps", "GB/s", [this] {
+      return (fluid_bw_at(latency_) + discrete_rate_.bps()) / 8e9;
+    });
+    tracer->gauge("mem.utilization", "fraction", [this] { return rho_; });
+    tracer->gauge("mem.latency_ns", "ns", [this] { return latency_.ns(); });
+  }
 }
 
 ClientId MemorySystem::add_closed_loop(MemClass cls, int cores, BitRate per_core_peak,

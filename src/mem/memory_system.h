@@ -35,6 +35,7 @@
 #include "common/units.h"
 #include "mem/dram.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 namespace hicc::mem {
 
@@ -72,8 +73,12 @@ class MemorySystem {
   /// `epoch` is the fluid re-solve interval; 5us keeps the solver cost
   /// negligible while tracking workload shifts far faster than the
   /// congestion-control timescale (~20us RTT, 100us host target).
+  /// `tracer`, when non-null, registers the `mem.*` probes (polled --
+  /// no per-request tracing work). Attach it to at most one
+  /// MemorySystem per Tracer: probe names are shared get-or-create
+  /// series, so a second node would silently merge into the first.
   MemorySystem(sim::Simulator& sim, DramParams params, Rng rng,
-               TimePs epoch = TimePs::from_us(5));
+               TimePs epoch = TimePs::from_us(5), trace::Tracer* tracer = nullptr);
 
   // ------------------------------------------------------- fluid side
 

@@ -7,7 +7,7 @@ namespace hicc::nic {
 
 Nic::Nic(sim::Simulator& sim, pcie::PcieBus& pcie, iommu::Iommu& iommu, NicParams params,
          int num_threads, Bytes data_region_size, iommu::PageSize data_page,
-         std::function<int(std::int32_t)> thread_of_flow, Rng rng)
+         std::function<int(std::int32_t)> thread_of_flow, Rng rng, trace::Tracer* tracer)
     : sim_(sim),
       pcie_(pcie),
       iommu_(iommu),
@@ -30,6 +30,18 @@ Nic::Nic(sim::Simulator& sim, pcie::PcieBus& pcie, iommu::Iommu& iommu, NicParam
   pcie_.on_credits_available([this] { pump(); });
   for (std::size_t t = 0; t < queues_.size(); ++t) {
     ensure_descriptor_fetch(static_cast<int>(t));
+  }
+  if (tracer != nullptr) {
+    // All polled from state the NIC already keeps: tracing adds no work
+    // to the arrival / DMA paths.
+    tracer->gauge("nic.buffer_bytes", "bytes",
+                  [this] { return static_cast<double>(buffer_used_.count()); });
+    tracer->counter("nic.buffer_drops", "packets",
+                    [this] { return static_cast<double>(stats_.buffer_drops); });
+    tracer->counter("nic.delivered", "packets",
+                    [this] { return static_cast<double>(stats_.delivered); });
+    tracer->counter("nic.hol_descriptor_stalls", "stalls",
+                    [this] { return static_cast<double>(stats_.hol_descriptor_stalls); });
   }
 }
 

@@ -33,6 +33,7 @@
 #include "net/packet.h"
 #include "pcie/pcie_bus.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 namespace hicc::nic {
 
@@ -100,10 +101,13 @@ class Nic {
   /// Registers per-thread data regions (`data_region_size` each, with
   /// `data_page` leaves -- 2M when hugepages are enabled, 4K when
   /// disabled) and 4K control regions with the IOMMU, as the SNAP
-  /// stack does once at startup (loose mode).
+  /// stack does once at startup (loose mode). `tracer`, when non-null,
+  /// registers the `nic.*` probes (all polled from NicStats / buffer
+  /// occupancy -- the arrival and DMA paths are untouched).
   Nic(sim::Simulator& sim, pcie::PcieBus& pcie, iommu::Iommu& iommu, NicParams params,
       int num_threads, Bytes data_region_size, iommu::PageSize data_page,
-      std::function<int(std::int32_t)> thread_of_flow, Rng rng);
+      std::function<int(std::int32_t)> thread_of_flow, Rng rng,
+      trace::Tracer* tracer = nullptr);
 
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;

@@ -6,13 +6,28 @@
 namespace hicc::pcie {
 
 PcieBus::PcieBus(sim::Simulator& sim, mem::MemorySystem& mem, iommu::Iommu& iommu,
-                 PcieParams params, mem::DdioModel* ddio)
+                 PcieParams params, mem::DdioModel* ddio, trace::Tracer* tracer)
     : sim_(sim),
       mem_(mem),
       iommu_(iommu),
       params_(params),
       ddio_(ddio),
-      credits_free_(params.credit_bytes) {}
+      credits_free_(params.credit_bytes) {
+  if (tracer != nullptr) {
+    // All polled: the sampler reads flow-control state the bus already
+    // maintains, so the per-TLP path carries no tracing work.
+    tracer->gauge("pcie.credits_in_use", "bytes",
+                  [this] { return static_cast<double>(credits_in_use().count()); });
+    tracer->gauge("pcie.rc_queue_depth", "tlps",
+                  [this] { return static_cast<double>(rc_queue_.size()); });
+    tracer->gauge("pcie.write_buffer_bytes", "bytes",
+                  [this] { return static_cast<double>(wb_used_.count()); });
+    tracer->counter("pcie.translation_stalls", "stalls",
+                    [this] { return static_cast<double>(stats_.translation_stalls); });
+    tracer->counter("pcie.write_buffer_stalls", "stalls",
+                    [this] { return static_cast<double>(stats_.write_buffer_stalls); });
+  }
+}
 
 void PcieBus::send_write_tlp(iommu::Iova iova, Bytes payload, std::function<void()> retired,
                              bool pre_translated) {

@@ -36,6 +36,7 @@
 #include "mem/memory_system.h"
 #include "pcie/params.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 namespace hicc::pcie {
 
@@ -56,8 +57,11 @@ struct PcieStats {
 /// touch the memory bus (footnote 2 of the paper).
 class PcieBus {
  public:
+  /// `tracer`, when non-null, registers the `pcie.*` probes (all
+  /// polled from the credit/queue/buffer state the bus already keeps).
   PcieBus(sim::Simulator& sim, mem::MemorySystem& mem, iommu::Iommu& iommu,
-          PcieParams params, mem::DdioModel* ddio = nullptr);
+          PcieParams params, mem::DdioModel* ddio = nullptr,
+          trace::Tracer* tracer = nullptr);
 
   PcieBus(const PcieBus&) = delete;
   PcieBus& operator=(const PcieBus&) = delete;

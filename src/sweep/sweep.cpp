@@ -12,8 +12,10 @@
 #include <thread>
 #include <utility>
 
+#include "common/fmt.h"
 #include "common/rng.h"
 #include "core/experiment.h"
+#include "trace/trace.h"
 
 namespace hicc::sweep {
 
@@ -26,23 +28,6 @@ const char* cc_name(transport::CcAlgorithm cc) {
     case transport::CcAlgorithm::kHostSignal: return "host-signal";
   }
   return "unknown";
-}
-
-/// Round-trip double formatting: shortest form that parses back to the
-/// same value, so JSON diffs are exact.
-void put_double(std::ostream& os, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  // Prefer the shorter %.15g / %.16g renderings when they round-trip.
-  for (int precision : {15, 16}) {
-    char shorter[64];
-    std::snprintf(shorter, sizeof shorter, "%.*g", precision, v);
-    if (std::strtod(shorter, nullptr) == v) {
-      os << shorter;
-      return;
-    }
-  }
-  os << buf;
 }
 
 class JsonObject {
@@ -232,6 +217,18 @@ std::vector<SweepResult> SweepRunner::run(std::vector<ExperimentConfig> points) 
 
   if (first_error) std::rethrow_exception(first_error);
   return results;
+}
+
+void harvest_trace(Experiment& exp, SweepResult& r) {
+  trace::Tracer* tracer = exp.tracer();
+  if (tracer == nullptr) return;
+  tracer->sample_now();  // refresh polled + derived values at run end
+  const auto& probes = tracer->probes();
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    // Histogram parents report their observation count; the derived
+    // .p50/.p99/.count entries carry the distribution itself.
+    r.extra["trace." + probes[i].name] = tracer->value_at(i);
+  }
 }
 
 void write_json(const std::vector<SweepResult>& results, std::ostream& os) {

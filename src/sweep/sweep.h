@@ -91,6 +91,14 @@ class SweepRunner {
   int jobs_;
 };
 
+/// Ready-made SweepOptions::probe body: copies the final value of
+/// every trace probe of the point's Tracer into SweepResult::extra as
+/// `trace.<probe-name>` (no-op when the point ran with tracing
+/// disabled). Lets a sweep carry end-of-run telemetry -- last buffer
+/// level, total drops, RTT percentiles -- into the JSON output without
+/// per-run trace files.
+void harvest_trace(Experiment& exp, SweepResult& r);
+
 /// Writes results as structured JSON (schema "hicc.sweep.v1"): one
 /// entry per point with config, metrics, extra, and wall_seconds --
 /// the machine-diffable companion to the benches' CSV tables.

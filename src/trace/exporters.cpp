@@ -1,0 +1,90 @@
+#include "trace/exporters.h"
+
+#include <fstream>
+
+#include "common/fmt.h"
+
+namespace hicc::trace {
+
+namespace {
+
+/// Sample times are printed in microseconds; picosecond resolution is
+/// 1e-6 us, so round-trip double formatting is exact.
+void put_time_us(std::ostream& os, TimePs t) { put_double(os, t.us()); }
+
+/// The category shown in the Chrome trace viewer: the probe name's
+/// first dotted component ("nic", "pcie", "iommu", ...).
+std::string category_of(const std::string& name) {
+  const auto dot = name.find('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+}  // namespace
+
+void CsvTraceWriter::begin(const std::vector<ProbeInfo>& probes) {
+  os_ << "# hicc.trace.v1\n";
+  for (const ProbeInfo& p : probes) {
+    os_ << "# probe," << p.name << "," << to_string(p.kind) << "," << p.unit << "\n";
+  }
+  os_ << "time_us,probe,value\n";
+}
+
+void CsvTraceWriter::sample(const ProbeInfo& probe, TimePs t, double value) {
+  put_time_us(os_, t);
+  os_ << "," << probe.name << ",";
+  put_double(os_, value);
+  os_ << "\n";
+}
+
+void CsvTraceWriter::end() { os_.flush(); }
+
+void ChromeTraceWriter::begin(const std::vector<ProbeInfo>& probes) {
+  (void)probes;
+  os_ << "{\"otherData\": {\"schema\": \"hicc.trace.v1\"},\n"
+      << "\"displayTimeUnit\": \"ms\",\n"
+      << "\"traceEvents\": [\n"
+      << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, "
+         "\"args\": {\"name\": \"hicc\"}}";
+  first_event_ = false;
+}
+
+void ChromeTraceWriter::sample(const ProbeInfo& probe, TimePs t, double value) {
+  os_ << (first_event_ ? "\n" : ",\n");
+  first_event_ = false;
+  os_ << " {\"name\": \"" << probe.name << "\", \"cat\": \"" << category_of(probe.name)
+      << "\", \"ph\": \"C\", \"ts\": ";
+  put_time_us(os_, t);
+  os_ << ", \"pid\": 1, \"tid\": 1, \"args\": {\"" << probe.unit << "\": ";
+  put_double(os_, value);
+  os_ << "}}";
+}
+
+void ChromeTraceWriter::end() {
+  os_ << "\n]}\n";
+  os_.flush();
+}
+
+bool FileTraceSink::open(Tracer& tracer, const std::string& path) {
+  file_ = std::make_unique<std::ofstream>(path);
+  if (!*file_) return false;
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    sink_ = std::make_unique<CsvTraceWriter>(*file_);
+  } else {
+    sink_ = std::make_unique<ChromeTraceWriter>(*file_);
+  }
+  tracer.set_sink(sink_.get());
+  return true;
+}
+
+bool FileTraceSink::close(Tracer& tracer) {
+  if (sink_ == nullptr) return false;
+  tracer.finish();
+  const bool ok = static_cast<bool>(*file_);
+  file_->close();
+  sink_.reset();
+  file_.reset();
+  return ok;
+}
+
+}  // namespace hicc::trace

@@ -1,0 +1,131 @@
+#include "trace/trace.h"
+
+#include <cassert>
+#include <utility>
+
+namespace hicc::trace {
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::vector<RecordingSink::Sample> RecordingSink::of(const std::string& probe) const {
+  std::vector<Sample> out;
+  for (const Sample& s : samples_) {
+    if (s.probe == probe) out.push_back(s);
+  }
+  return out;
+}
+
+Tracer::Tracer(sim::Simulator& sim, TraceParams params) : sim_(sim), params_(params) {
+  counter("sim.events_executed", "events",
+          [this] { return static_cast<double>(sim_.executed()); });
+  gauge("sim.queue_depth", "events", [this] { return static_cast<double>(sim_.pending()); });
+}
+
+ProbeId Tracer::intern(std::string name, Kind kind, std::string unit,
+                       std::function<double()> poll, bool emit) {
+  for (std::size_t i = 0; i < catalog_.size(); ++i) {
+    if (catalog_[i].name == name) {
+      // Get-or-create: instances sharing a metric share the series.
+      // The kind must agree; the first registrant's poll wins.
+      assert(catalog_[i].kind == kind);
+      return ProbeId{static_cast<std::int32_t>(i)};
+    }
+  }
+  catalog_.push_back(ProbeInfo{std::move(name), kind, std::move(unit)});
+  Probe p;
+  p.poll = std::move(poll);
+  p.emit = emit;
+  if (kind == Kind::kHistogram) p.hist = std::make_unique<LogHistogram>();
+  probes_.push_back(std::move(p));
+  return ProbeId{static_cast<std::int32_t>(probes_.size()) - 1};
+}
+
+ProbeId Tracer::counter(std::string name, std::string unit, std::function<double()> poll) {
+  return intern(std::move(name), Kind::kCounter, std::move(unit), std::move(poll), true);
+}
+
+ProbeId Tracer::gauge(std::string name, std::string unit, std::function<double()> poll) {
+  return intern(std::move(name), Kind::kGauge, std::move(unit), std::move(poll), true);
+}
+
+ProbeId Tracer::histogram(std::string name, std::string unit) {
+  const ProbeId id = intern(name, Kind::kHistogram, unit, nullptr, /*emit=*/false);
+  Probe& parent = probes_[static_cast<std::size_t>(id.index)];
+  if (parent.derived < 0) {
+    // Derived series are emitted by the sampler from the accumulated
+    // histogram; they are registered contiguously so one index finds
+    // all three.
+    parent.derived = static_cast<std::int32_t>(probes_.size());
+    intern(name + ".p50", Kind::kGauge, unit, nullptr, true);
+    intern(name + ".p99", Kind::kGauge, unit, nullptr, true);
+    intern(name + ".count", Kind::kCounter, "observations", nullptr, true);
+  }
+  return id;
+}
+
+void Tracer::observe(ProbeId id, double value) {
+  Probe& p = probes_[static_cast<std::size_t>(id.index)];
+  p.hist->add(value);
+  p.value = static_cast<double>(p.hist->count());
+}
+
+void Tracer::set_sink(TraceSink* sink) {
+  sink_ = sink;
+  if (sink_ != nullptr) sink_->begin(catalog_);
+}
+
+void Tracer::start() {
+  if (started_) return;
+  started_ = true;
+  sample_now();
+  sampler_.emplace(sim_, params_.sample_period, [this] { sample_now(); });
+}
+
+void Tracer::sample_now() {
+  const TimePs t = sim_.now();
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    Probe& p = probes_[i];
+    if (p.hist != nullptr && p.derived >= 0) {
+      // Refresh the derived series before the loop reaches them (they
+      // were registered right after their parent). Done even without a
+      // sink so sweep harvesting sees current percentiles.
+      probes_[static_cast<std::size_t>(p.derived)].value = p.hist->percentile(50);
+      probes_[static_cast<std::size_t>(p.derived) + 1].value = p.hist->percentile(99);
+      probes_[static_cast<std::size_t>(p.derived) + 2].value =
+          static_cast<double>(p.hist->count());
+    }
+    if (!p.emit || sink_ == nullptr) continue;
+    sink_->sample(catalog_[i], t, p.poll ? p.poll() : p.value);
+  }
+}
+
+void Tracer::finish() {
+  if (sink_ != nullptr) {
+    sample_now();
+    sink_->end();
+    sink_ = nullptr;
+  }
+  sampler_.reset();
+  started_ = false;
+}
+
+double Tracer::value_at(std::size_t i) const {
+  const Probe& p = probes_[i];
+  return p.poll ? p.poll() : p.value;
+}
+
+std::optional<ProbeId> Tracer::find(const std::string& name) const {
+  for (std::size_t i = 0; i < catalog_.size(); ++i) {
+    if (catalog_[i].name == name) return ProbeId{static_cast<std::int32_t>(i)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace hicc::trace

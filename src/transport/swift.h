@@ -16,6 +16,7 @@
 
 #include "common/units.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 #include "transport/cc.h"
 
 namespace hicc::transport {
@@ -50,8 +51,12 @@ struct SwiftParams {
 /// sub-RTT NIC congestion signals (§4 ablation).
 class SwiftCc final : public CongestionControl {
  public:
-  SwiftCc(sim::Simulator& sim, SwiftParams params, bool react_to_host_signal = false)
-      : sim_(sim), params_(params), react_to_host_signal_(react_to_host_signal) {}
+  /// `tracer`, when non-null, attaches the shared `transport.rtt_us`,
+  /// `transport.host_delay_us` and `transport.fabric_rtt_us` delay
+  /// histograms (shared across all flows of an experiment; `on_ack`
+  /// feeds them behind a single null check).
+  SwiftCc(sim::Simulator& sim, SwiftParams params, bool react_to_host_signal = false,
+          trace::Tracer* tracer = nullptr);
 
   void on_ack(const AckInfo& info) override;
   void on_loss() override;
@@ -73,6 +78,10 @@ class SwiftCc final : public CongestionControl {
   sim::Simulator& sim_;
   SwiftParams params_;
   bool react_to_host_signal_;
+  trace::Tracer* tracer_ = nullptr;  // null unless tracing is enabled
+  trace::ProbeId rtt_probe_;
+  trace::ProbeId host_delay_probe_;
+  trace::ProbeId fabric_rtt_probe_;
   double fabric_cwnd_ = 1.0;
   double host_cwnd_ = 1.0;
   TimePs srtt_{};
