@@ -4,34 +4,72 @@
 // rescheduling... scheduling applications on NUMA nodes different from
 // the one where the NIC is connected."
 //
-// Moving the STREAM antagonist to the remote NUMA node takes it off
-// the NIC's memory bus entirely: the network keeps line rate AND the
-// antagonist keeps its full memory bandwidth -- a strictly better
-// allocation than throttling either side.
+// Three placements per core count, all driven by fault scripts
+// (docs/FAULTS.md):
+//   nic-local   -- antagonist on the NIC's node for the whole run
+//   remote      -- antagonist on the other NUMA node (off the NIC's bus)
+//   rescheduled -- starts NIC-local, then a mid-measurement
+//                  `mem.antagonist,cores=0` event models the scheduler
+//                  evicting it; the second half of the window shows the
+//                  network recovering
+// Moving the antagonist off the NIC's memory bus keeps line rate AND
+// full antagonist bandwidth -- strictly better than throttling either.
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "fault/script.h"
 
 using namespace hicc;
 
+namespace {
+
+enum class Placement { kNicLocal, kRemote, kRescheduled };
+
+const char* name_of(Placement p) {
+  switch (p) {
+    case Placement::kNicLocal:
+      return "nic-local";
+    case Placement::kRemote:
+      return "remote";
+    case Placement::kRescheduled:
+      return "rescheduled";
+  }
+  return "?";
+}
+
+}  // namespace
+
 int main() {
   bench::header(
-      "Ablation A10", "antagonist placement: NIC-local vs remote NUMA node "
-                      "(12 receiver cores, IOMMU OFF)",
+      "Ablation A10", "antagonist placement: NIC-local vs remote NUMA node vs "
+                      "mid-run rescheduling (12 receiver cores, IOMMU OFF)",
       "remote placement restores full network throughput with zero drops "
       "while the antagonist still achieves its full bandwidth on the other "
-      "node's memory controllers");
+      "node's memory controllers; rescheduling mid-run recovers throughput "
+      "for the second half of the window");
 
   Table t({"antagonist_cores", "placement", "app_gbps", "drop_pct",
            "local_mem_gbs", "remote_mem_gbs", "antagonist_gbs"});
+  const Placement placements[] = {Placement::kNicLocal, Placement::kRemote,
+                                  Placement::kRescheduled};
+  const int core_counts[] = {8, 12, 15};
   std::vector<ExperimentConfig> cfgs;
-  for (int a : {8, 12, 15}) {
-    for (const bool remote : {false, true}) {
+  for (int a : core_counts) {
+    for (const Placement p : placements) {
       ExperimentConfig cfg = bench::base_config();
       cfg.rx_threads = 12;
       cfg.iommu_enabled = false;
-      cfg.antagonist_cores = a;
-      cfg.antagonist_remote_numa = remote;
+      cfg.antagonist_remote_numa = (p == Placement::kRemote);
+      std::string spec = "mem.antagonist@0,cores=" + std::to_string(a);
+      if (p == Placement::kRescheduled) {
+        // The "scheduler" evicts the antagonist halfway through the
+        // measurement window (a permanent cores=0 override).
+        const TimePs evict = cfg.warmup + TimePs(cfg.measure.ps() / 2);
+        spec += ";mem.antagonist@" +
+                std::to_string(static_cast<long long>(evict.us())) + "us,cores=0";
+      }
+      cfg.faults = fault::parse_script(spec).script;
       cfgs.push_back(cfg);
     }
   }
@@ -40,13 +78,13 @@ int main() {
       bench::sweep(cfgs, [](Experiment& exp, sweep::SweepResult& r) {
         r.extra["antagonist_gbs"] = exp.antagonist().achieved().gigabytes_per_sec();
       });
-  for (const auto& r : results) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
     const Metrics& m = r.metrics;
-    t.add_row({std::int64_t{r.config.antagonist_cores},
-               std::string(r.config.antagonist_remote_numa ? "remote" : "nic-local"),
-               m.app_throughput_gbps, m.drop_rate * 100.0,
-               m.memory.total_gbytes_per_sec, m.remote_memory.total_gbytes_per_sec,
-               r.extra.at("antagonist_gbs")});
+    t.add_row({std::int64_t{core_counts[i / 3]},
+               std::string(name_of(placements[i % 3])), m.app_throughput_gbps,
+               m.drop_rate * 100.0, m.memory.total_gbytes_per_sec,
+               m.remote_memory.total_gbytes_per_sec, r.extra.at("antagonist_gbs")});
   }
   bench::finish(t, "ablation_numa_reschedule.csv");
   bench::save_json(results, "ablation_numa_reschedule.json");

@@ -4,9 +4,17 @@
 // physical core, up to 15). Reproduces the three panels: total memory
 // bandwidth bars, NIC-to-CPU throughput for IOMMU OFF and ON, and drop
 // rates. 12 receiver threads, 40 senders (§3.2's setup).
+//
+// The antagonist is driven by the fault engine (docs/FAULTS.md): a
+// permanent `mem.antagonist@0` script entry ramps the cores at time
+// zero, so the same injector that powers dynamic scenarios produces the
+// figure's static sweep, and each point's scenario is recorded in the
+// sweep JSON's "faults" field.
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "fault/script.h"
 
 using namespace hicc;
 
@@ -28,8 +36,11 @@ int main() {
   for (int a : antagonists) {
     ExperimentConfig off = bench::base_config();
     off.rx_threads = 12;
-    off.antagonist_cores = a;
     off.iommu_enabled = false;
+    if (a > 0) {
+      off.faults =
+          fault::parse_script("mem.antagonist@0,cores=" + std::to_string(a)).script;
+    }
     ExperimentConfig on = off;
     on.iommu_enabled = true;
     cfgs.push_back(off);

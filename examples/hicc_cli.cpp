@@ -23,6 +23,8 @@
 
 #include "common/table.h"
 #include "core/experiment.h"
+#include "core/validate.h"
+#include "fault/script.h"
 #include "sweep/sweep.h"
 #include "trace/exporters.h"
 
@@ -72,8 +74,16 @@ void usage() {
       "protocol:\n"
       "  --cc=swift|tcp|host-signal   (default swift)\n"
       "  --host-target-us=N           Swift host target (default 100)\n"
+      "faults (docs/FAULTS.md):\n"
+      "  --faults=SPEC      schedule mid-run disturbances. SPEC is a ';'-\n"
+      "                     separated list of kind@time[+dur][/period][,k=v...]\n"
+      "                     entries, e.g.\n"
+      "                       --faults='mem.antagonist@5ms+2ms,cores=15'\n"
+      "                       --faults='net.loss@1ms+500us/2ms,prob=0.05'\n"
       "run control:\n"
       "  --warmup-ms=N --measure-ms=N --seed=N\n"
+      "  --max-events=N     watchdog: abort the run after N simulator\n"
+      "                     events (0 = unlimited, the default)\n"
       "  --timeline-us=N    print a metrics row every N us instead of a\n"
       "                     single summary\n"
       "telemetry (docs/OBSERVABILITY.md):\n"
@@ -119,8 +129,17 @@ void print_metrics(const hicc::Metrics& m) {
   std::printf("pipeline stalls    %lld translation, %lld write-buffer\n",
               static_cast<long long>(m.pcie_translation_stalls),
               static_cast<long long>(m.pcie_write_buffer_stalls));
+  if (m.fault_windows > 0) {
+    std::printf("fault windows      %8lld (active %.1f us, blind %.1f us, %lld drops)\n",
+                static_cast<long long>(m.fault_windows), m.fault_active_us, m.fault_blind_us,
+                static_cast<long long>(m.fault_drops));
+  }
   std::printf("simulated          %.1f ms (%llu events)\n", m.simulated_seconds * 1e3,
               static_cast<unsigned long long>(m.events_executed));
+  if (m.run_status != hicc::RunStatus::kOk) {
+    std::printf("run status         %s (%s)\n", hicc::to_string(m.run_status),
+                m.run_status_detail.c_str());
+  }
 }
 
 }  // namespace
@@ -165,6 +184,18 @@ int main(int argc, char** argv) {
   cfg.warmup = TimePs::from_ms(flags.number("warmup-ms", 10));
   cfg.measure = TimePs::from_ms(flags.number("measure-ms", 20));
   cfg.seed = static_cast<std::uint64_t>(flags.number("seed", 1));
+  cfg.watchdog.max_events = static_cast<std::uint64_t>(flags.number("max-events", 0));
+
+  const std::string faults_spec = flags.str("faults", "");
+  if (!faults_spec.empty()) {
+    hicc::fault::ParseResult parsed = hicc::fault::parse_script(faults_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "invalid --faults spec:\n");
+      for (const auto& err : parsed.errors) std::fprintf(stderr, "  %s\n", err.c_str());
+      return 1;
+    }
+    cfg.faults = std::move(parsed.script);
+  }
 
   const char* trace_env = std::getenv("HICC_TRACE");
   const std::string trace_path =
@@ -183,6 +214,16 @@ int main(int argc, char** argv) {
     cfg.cc = hicc::transport::CcAlgorithm::kSwift;
   } else {
     std::fprintf(stderr, "unknown --cc=%s (swift|tcp|host-signal)\n", cc.c_str());
+    return 1;
+  }
+
+  // Reject a nonsensical configuration with every problem at once,
+  // before any experiment is built.
+  if (const auto violations = hicc::validate(cfg); !violations.empty()) {
+    std::fprintf(stderr, "invalid configuration (%zu problem(s)):\n", violations.size());
+    for (const auto& v : violations) {
+      std::fprintf(stderr, "  %s: %s\n", v.field.c_str(), v.message.c_str());
+    }
     return 1;
   }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "common/units.h"
+#include "fault/script.h"
 #include "host/receiver_host.h"
 #include "iommu/iommu.h"
 #include "mem/ddio.h"
@@ -77,6 +78,17 @@ struct ExperimentConfig {
   TimePs warmup = TimePs::from_ms(10);
   TimePs measure = TimePs::from_ms(30);
   std::uint64_t seed = 1;
+  /// Run watchdog (docs/FAULTS.md): max_events = 0 leaves the event
+  /// budget unlimited; the same-timestamp guard catches pathological
+  /// self-rescheduling loops without bounding legitimate runs (the
+  /// densest healthy instant is a few hundred events).
+  sim::WatchdogParams watchdog{.max_events = 0, .max_events_per_timestamp = 1'000'000};
+
+  // ---------------------------------------------------------- faults
+  /// Mid-run disturbance script (docs/FAULTS.md). Empty by default: no
+  /// FaultEngine is constructed and the run is bitwise identical to a
+  /// build without the fault subsystem.
+  fault::FaultScript faults;
 
   // ------------------------------------------------------- telemetry
   /// Time-series tracing (docs/OBSERVABILITY.md). Off by default: with

@@ -82,6 +82,19 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
       return flows > 0 ? sum / static_cast<double>(flows) : 0.0;
     });
   }
+
+  sim_.set_watchdog(cfg_.watchdog);
+
+  // Last on purpose: the engine forks the experiment RNG after every
+  // component has taken its stream, and scripts with no due events
+  // schedule nothing that executes -- so an idle engine leaves the run
+  // bitwise identical to one without it (tests/fault_test.cpp).
+  if (!cfg_.faults.empty()) {
+    fault_engine_ = std::make_unique<fault::FaultEngine>(
+        sim_, cfg_.faults,
+        fault::FaultTargets{fabric_.get(), receiver_.get(), antagonist_.get()}, rng_.fork(),
+        tracer_.get());
+  }
 }
 
 Experiment::~Experiment() = default;
@@ -144,6 +157,25 @@ Metrics Experiment::snapshot() const {
   Metrics m;
   m.simulated_seconds = secs;
   m.events_executed = sim_.executed();
+  switch (sim_.abort_cause()) {
+    case sim::AbortCause::kNone:
+      m.run_status = RunStatus::kOk;
+      break;
+    case sim::AbortCause::kEventBudget:
+      m.run_status = RunStatus::kEventBudget;
+      break;
+    case sim::AbortCause::kTimestampStall:
+      m.run_status = RunStatus::kStalled;
+      break;
+  }
+  m.run_status_detail = sim_.abort_reason();
+  if (fault_engine_ != nullptr) {
+    const fault::FaultReport fr = fault_engine_->report();
+    m.fault_windows = fr.windows;
+    m.fault_drops = fr.drops;
+    m.fault_active_us = fr.active_us;
+    m.fault_blind_us = fr.blind_us;
+  }
   if (secs <= 0.0) return m;
 
   const auto& win = receiver_->window();

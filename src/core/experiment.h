@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "core/config.h"
 #include "core/metrics.h"
+#include "fault/engine.h"
 #include "host/receiver_host.h"
 #include "mem/memory_system.h"
 #include "mem/stream_antagonist.h"
@@ -62,6 +63,8 @@ class Experiment {
   [[nodiscard]] mem::MemorySystem& remote_memory() { return *remote_mem_; }
   [[nodiscard]] host::ReceiverHost& receiver() { return *receiver_; }
   [[nodiscard]] mem::StreamAntagonist& antagonist() { return *antagonist_; }
+  /// The fault engine; null unless config().faults is non-empty.
+  [[nodiscard]] fault::FaultEngine* fault_engine() { return fault_engine_.get(); }
   [[nodiscard]] const ExperimentConfig& config() const { return cfg_; }
 
  private:
@@ -96,6 +99,9 @@ class Experiment {
   std::unique_ptr<host::ReceiverHost> receiver_;
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<transport::SenderHost>> senders_;
+  /// Built last (and forks rng_ last) so runs whose script never fires
+  /// stay event-identical to engine-less runs; null when no script.
+  std::unique_ptr<fault::FaultEngine> fault_engine_;
   CounterSnapshot window_start_;
   TimePs window_start_time_{};
   bool started_ = false;

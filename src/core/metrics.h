@@ -9,10 +9,30 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "mem/memory_system.h"
 
 namespace hicc {
+
+/// How a run ended. Anything but kOk means a Simulator watchdog
+/// stopped the run early; the Metrics harvested are still valid for
+/// the simulated time that elapsed (simulated_seconds tells how much).
+enum class RunStatus : std::uint8_t {
+  kOk,
+  kEventBudget,   // watchdog: max_events exhausted
+  kStalled,       // watchdog: no time progress (self-rescheduling loop)
+};
+
+/// Short machine-stable label ("ok" / "event_budget" / "stalled").
+[[nodiscard]] inline const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kEventBudget: return "event_budget";
+    case RunStatus::kStalled: return "stalled";
+  }
+  return "unknown";
+}
 
 /// Measurement-window results of an Experiment::run().
 struct Metrics {
@@ -70,7 +90,23 @@ struct Metrics {
   /// MTU-sized packets (not bytes).
   double avg_cwnd = 0.0;
 
+  // ---------------------------------------------- faults (if scripted)
+  // Zero/empty unless the run carried a FaultScript (docs/FAULTS.md).
+  /// Fault-window activations over the whole run.
+  std::int64_t fault_windows = 0;
+  /// NIC buffer drops that landed inside fault windows.
+  std::int64_t fault_drops = 0;
+  /// Union of active fault windows, microseconds (whole run).
+  double fault_active_us = 0.0;
+  /// Fault-window time during which drops were occurring -- the spans
+  /// where congestion control is blind to a host-side disturbance.
+  double fault_blind_us = 0.0;
+
   // -------------------------------------------------------- run info
+  /// How the run ended; != kOk when a watchdog aborted it early.
+  RunStatus run_status = RunStatus::kOk;
+  /// Human-readable abort explanation; empty when run_status == kOk.
+  std::string run_status_detail;
   /// Length of the measurement window in simulated seconds.
   double simulated_seconds = 0.0;
   /// Total simulator events executed since construction (whole run,

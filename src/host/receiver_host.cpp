@@ -42,6 +42,8 @@ ReceiverHost::ReceiverHost(sim::Simulator& sim, mem::MemorySystem& mem,
   read_remaining_.resize(static_cast<std::size_t>(num_flows()));
   packets_per_read_.resize(static_cast<std::size_t>(num_flows()));
   read_issued_at_.assign(static_cast<std::size_t>(num_flows()), TimePs(0));
+  flow_paused_.assign(static_cast<std::size_t>(num_flows()), 0);
+  read_deferred_.assign(static_cast<std::size_t>(num_flows()), 0);
   for (std::int32_t f = 0; f < num_flows(); ++f) {
     packets_per_read_[static_cast<std::size_t>(f)] = static_cast<int>(
         std::max<std::int64_t>(1, read_bytes_of(f).count() / wire_.mtu_payload.count()));
@@ -83,7 +85,28 @@ void ReceiverHost::start() {
   }
 }
 
+void ReceiverHost::set_threads_descheduled(int n, bool descheduled) {
+  for (int t = 0; t < n && t < params_.threads; ++t) {
+    threads_[static_cast<std::size_t>(t)]->set_descheduled(descheduled);
+  }
+}
+
+void ReceiverHost::set_flow_paused(std::int32_t flow, bool paused) {
+  auto& flag = flow_paused_[static_cast<std::size_t>(flow)];
+  if (flag == static_cast<char>(paused)) return;
+  flag = static_cast<char>(paused);
+  auto& deferred = read_deferred_[static_cast<std::size_t>(flow)];
+  if (!paused && deferred != 0) {
+    deferred = 0;
+    issue_read(flow);
+  }
+}
+
 void ReceiverHost::issue_read(std::int32_t flow) {
+  if (flow_paused_[static_cast<std::size_t>(flow)] != 0) {
+    read_deferred_[static_cast<std::size_t>(flow)] = 1;
+    return;
+  }
   net::Packet req;
   req.kind = net::PacketKind::kReadRequest;
   req.flow = flow;

@@ -107,6 +107,16 @@ class ReceiverHost {
   /// Resets the measurement window (call at warmup end).
   void begin_window();
 
+  /// Fault hook (host.deschedule): parks the first `n` rx threads (the
+  /// OS migrated them off-core); completions keep queueing and drain
+  /// when the threads come back.
+  void set_threads_descheduled(int n, bool descheduled);
+
+  /// Fault hook (transport.churn): a paused flow stops issuing reads;
+  /// its in-flight read completes normally but the follow-up reissue is
+  /// deferred until unpause (the application went quiet, then returned).
+  void set_flow_paused(std::int32_t flow, bool paused);
+
   [[nodiscard]] const ReceiverWindow& window() const { return window_; }
   [[nodiscard]] nic::Nic& nic() { return *nic_; }
   [[nodiscard]] iommu::Iommu& iommu() { return *iommu_; }
@@ -165,6 +175,9 @@ class ReceiverHost {
   std::vector<int> read_remaining_;
   std::vector<int> packets_per_read_;
   std::vector<TimePs> read_issued_at_;
+  /// Churn state: paused flows defer their reissue until unpaused.
+  std::vector<char> flow_paused_;
+  std::vector<char> read_deferred_;
   /// Per-flow payload of one read request.
   [[nodiscard]] Bytes read_bytes_of(std::int32_t flow) const {
     return is_victim(flow) ? params_.victim_read_size : params_.read_size;

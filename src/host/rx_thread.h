@@ -51,9 +51,18 @@ class RxThread {
   [[nodiscard]] std::int64_t processed_count() const { return processed_count_; }
   [[nodiscard]] int id() const { return id_; }
 
+  /// Fault hook (host.deschedule): while descheduled the thread stops
+  /// picking up work (completions keep queueing). A packet already
+  /// being processed finishes. Resuming drains the backlog.
+  void set_descheduled(bool descheduled) {
+    descheduled_ = descheduled;
+    if (!descheduled_) maybe_start();
+  }
+  [[nodiscard]] bool descheduled() const { return descheduled_; }
+
  private:
   void maybe_start() {
-    if (busy_ || queue_.empty()) return;
+    if (busy_ || descheduled_ || queue_.empty()) return;
     busy_ = true;
     const double jitter = rng_.uniform(1.0 - params_.cost_jitter, 1.0 + params_.cost_jitter);
     const auto cost = TimePs(static_cast<std::int64_t>(
@@ -75,6 +84,7 @@ class RxThread {
   ProcessedFn processed_;
   std::deque<std::pair<net::Packet, TimePs>> queue_;
   bool busy_ = false;
+  bool descheduled_ = false;
   std::int64_t processed_count_ = 0;
 };
 

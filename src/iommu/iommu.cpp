@@ -87,6 +87,17 @@ void Iommu::invalidate_page_async(Iova iova) {
   pump_walkers();
 }
 
+bool Iommu::invalidate_random_page(Rng& rng) {
+  const std::size_t regions = table_.region_count();
+  if (regions == 0) return false;
+  const Region& r = table_.region(
+      RegionId{static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(regions)))});
+  if (r.num_pages() <= 0) return false;
+  invalidate_page_async(r.page_iova(
+      static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(r.num_pages())))));
+  return true;
+}
+
 void Iommu::pump_walkers() {
   while (walkers_busy_ < params_.walkers && !walk_queue_.empty()) {
     Walk walk = std::move(walk_queue_.front());

@@ -102,6 +102,11 @@ class Iommu {
   /// for invalidation_latency, delaying queued translations.
   void invalidate_page_async(Iova iova);
 
+  /// Fault hook (iommu.storm): async-invalidates one uniformly chosen
+  /// mapped page, emulating an unrelated driver churning its mappings.
+  /// No-op (returns false) when nothing is mapped.
+  bool invalidate_random_page(Rng& rng);
+
   [[nodiscard]] const Region& region(RegionId id) const { return table_.region(id); }
   [[nodiscard]] const IoPageTable& page_table() const { return table_; }
 

@@ -66,6 +66,11 @@ class DdioModel {
   /// traffic, llc_write_latency applies).
   [[nodiscard]] bool write_hits() { return rng_.chance(hit_fraction()); }
 
+  /// Fault hook (mem.ddio_squeeze): shrinks/restores the IO-way
+  /// allotment mid-run, emulating CAT reconfiguration or a competing
+  /// device claiming ways.
+  void set_ddio_ways(int ways) { params_.ddio_ways = ways; }
+
   [[nodiscard]] const DdioParams& params() const { return params_; }
 
  private:

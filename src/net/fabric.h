@@ -82,6 +82,11 @@ class Fabric {
   /// Occupancy of the congestion-relevant queue (ToR access port).
   [[nodiscard]] Bytes access_queue() const { return access_->queued(); }
 
+  /// Mutable link handles for fault injection (flap / rate / loss).
+  [[nodiscard]] QueuedLink& access_link() { return *access_; }
+  [[nodiscard]] QueuedLink& uplink(int i) { return *uplinks_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int num_uplinks() const { return static_cast<int>(uplinks_.size()); }
+
   [[nodiscard]] const FabricParams& params() const { return params_; }
 
  private:

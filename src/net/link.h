@@ -9,6 +9,7 @@
 #include <functional>
 #include <utility>
 
+#include "common/rng.h"
 #include "common/units.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
@@ -32,8 +33,13 @@ class QueuedLink {
   QueuedLink& operator=(const QueuedLink&) = delete;
 
   /// Enqueues `p`; returns false (and counts a drop) when the queue
-  /// cannot hold the packet's wire bytes.
+  /// cannot hold the packet's wire bytes, the link is administratively
+  /// down, or a loss window discards the packet.
   bool send(Packet p) {
+    if (down_ || (loss_prob_ > 0.0 && loss_rng_ != nullptr && loss_rng_->chance(loss_prob_))) {
+      ++drops_;
+      return false;
+    }
     if (queued_ + p.wire > capacity_) {
       ++drops_;
       return false;
@@ -55,9 +61,24 @@ class QueuedLink {
 
   /// Bytes currently queued or in serialization.
   [[nodiscard]] Bytes queued() const { return queued_; }
-  /// Packets tail-dropped so far.
+  /// Packets dropped so far (tail drops + down/loss-window discards).
   [[nodiscard]] std::int64_t drops() const { return drops_; }
   [[nodiscard]] BitRate rate() const { return rate_; }
+
+  // Fault-injection hooks (src/fault/engine.cpp). Packets already in
+  // serialization or flight are unaffected; only new sends see the
+  // changed state, mirroring how real link events manifest.
+
+  /// Changes the serialization rate for subsequent sends.
+  void set_rate(BitRate rate) { rate_ = rate; }
+  /// Administratively downs the link: every send drops.
+  void set_down(bool down) { down_ = down; }
+  /// Random-loss window; `prob` in [0,1], rng must outlive the window
+  /// (pass prob=0 to end it).
+  void set_loss(double prob, Rng* rng) {
+    loss_prob_ = prob;
+    loss_rng_ = rng;
+  }
 
  private:
   sim::Simulator& sim_;
@@ -68,6 +89,9 @@ class QueuedLink {
   TimePs busy_until_{};
   Bytes queued_{};
   std::int64_t drops_ = 0;
+  bool down_ = false;
+  double loss_prob_ = 0.0;
+  Rng* loss_rng_ = nullptr;
 };
 
 }  // namespace hicc::net

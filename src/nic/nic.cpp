@@ -66,7 +66,7 @@ iommu::Iova Nic::pick_data_page(Queue& q) {
 
 void Nic::on_arrival(net::Packet p) {
   ++stats_.arrivals;
-  if (buffer_used_ + p.wire > params_.input_buffer) {
+  if (buffer_used_ + p.wire > buffer_limit()) {
     ++stats_.buffer_drops;
     return;
   }

@@ -126,6 +126,15 @@ class Nic {
   /// it on the wire.
   void send_packet(net::Packet p, int thread);
 
+  /// Fault hook (nic.buffer_squeeze): caps the admissible input-buffer
+  /// occupancy below the configured SRAM size. Bytes(0) restores the
+  /// configured limit; packets already buffered are never evicted.
+  void set_buffer_limit(Bytes limit) { buffer_limit_override_ = limit; }
+  /// The currently effective admission limit.
+  [[nodiscard]] Bytes buffer_limit() const {
+    return buffer_limit_override_.count() > 0 ? buffer_limit_override_ : params_.input_buffer;
+  }
+
   [[nodiscard]] Bytes buffer_used() const { return buffer_used_; }
   [[nodiscard]] const NicStats& stats() const { return stats_; }
   [[nodiscard]] int posted_descriptors(int thread) const {
@@ -193,6 +202,8 @@ class Nic {
   std::vector<Queue> queues_;
   std::deque<Buffered> input_;              // buffered, not yet DMA-started
   Bytes buffer_used_{};
+  Bytes buffer_limit_override_{};           // fault hook; 0 = use params_
+
   iommu::LruCache<iommu::Iova> dev_tlb_;    // ATS device TLB
   std::unordered_map<iommu::Iova, bool> ats_pending_;
   /// Job whose payload TLPs are still being emitted (-1: none). The

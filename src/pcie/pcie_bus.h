@@ -71,7 +71,16 @@ class PcieBus {
   /// True when the NIC holds enough credits to emit a posted write TLP
   /// of `payload` bytes.
   [[nodiscard]] bool can_send_write(Bytes payload) const {
-    return credits_free_ >= params_.tlp_wire_bytes(payload);
+    return !credits_frozen_ && credits_free_ >= params_.tlp_wire_bytes(payload);
+  }
+
+  /// Fault hook (nic.credit_stall): while frozen the NIC sees no
+  /// posted credits, emulating a root complex that stops returning
+  /// them. Unfreezing notifies the credit subscriber so DMA resumes.
+  void set_credit_freeze(bool frozen) {
+    const bool was = credits_frozen_;
+    credits_frozen_ = frozen;
+    if (was && !frozen && credits_cb_) credits_cb_();
   }
 
   /// Emits one posted write TLP. Preconditions: can_send_write().
@@ -122,6 +131,7 @@ class PcieBus {
   mem::DdioModel* ddio_;
 
   Bytes credits_free_;
+  bool credits_frozen_ = false;
   TimePs link_free_at_{};
   std::deque<Tlp> rc_queue_;
   bool rc_busy_ = false;

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <cassert>
 #include <utility>
 
 namespace hicc::sim {
@@ -8,22 +9,51 @@ EventId Simulator::at(TimePs t, Action fn) {
   if (t < now_) t = now_;
   const EventId id{next_seq_++};
   queue_.push(Event{t, id.seq, std::move(fn)});
+  live_.insert(id.seq);
   return id;
 }
 
 bool Simulator::cancel(EventId id) {
-  if (!id.valid() || id.seq >= next_seq_) return false;
-  // Tombstone; the heap entry is discarded when popped.
-  return cancelled_.insert(id.seq).second;
+  if (!id.valid()) return false;
+  // The heap entry stays behind as a tombstone and is discarded when
+  // popped; live_ is the ground truth for what still counts as pending.
+  return live_.erase(id.seq) > 0;
+}
+
+bool Simulator::guard_event(TimePs t) {
+  if (watchdog_.max_events != 0 && executed_ >= watchdog_.max_events) {
+    abort_cause_ = AbortCause::kEventBudget;
+    abort_reason_ = "event budget exhausted (" + std::to_string(watchdog_.max_events) +
+                    " events executed) at t=" + std::to_string(t.us()) + "us";
+    return false;
+  }
+  if (watchdog_.max_events_per_timestamp != 0) {
+    if (executed_ > 0 && t == last_exec_time_) {
+      if (++same_time_streak_ >= watchdog_.max_events_per_timestamp) {
+        abort_cause_ = AbortCause::kTimestampStall;
+        abort_reason_ = "no time progress: " + std::to_string(same_time_streak_) +
+                        " consecutive events at t=" + std::to_string(t.us()) +
+                        "us (self-rescheduling loop?)";
+        return false;
+      }
+    } else {
+      same_time_streak_ = 1;
+    }
+  }
+  last_exec_time_ = t;
+  return true;
 }
 
 bool Simulator::run_one() {
+  if (aborted()) return false;
   while (!queue_.empty()) {
     const Event& top = queue_.top();
-    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
+    if (auto it = live_.find(top.seq); it == live_.end()) {
+      queue_.pop();  // cancelled tombstone
       continue;
+    } else {
+      if (!guard_event(top.time)) return false;
+      live_.erase(it);
     }
     now_ = top.time;
     Action fn = std::move(top.fn);
@@ -32,25 +62,29 @@ bool Simulator::run_one() {
     fn();
     return true;
   }
-  cancelled_.clear();  // queue drained; drop any stale tombstones
+  assert(live_.empty() && "live events must be a subset of the queue");
   return false;
 }
 
 void Simulator::run_until(TimePs end) {
+  if (aborted()) return;
   while (!queue_.empty()) {
     const Event& top = queue_.top();
-    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
+    if (auto it = live_.find(top.seq); it == live_.end()) {
+      queue_.pop();  // cancelled tombstone
       continue;
+    } else {
+      if (end < top.time) break;
+      if (!guard_event(top.time)) return;  // abort: now_ stays put
+      live_.erase(it);
     }
-    if (end < top.time) break;
     now_ = top.time;
     Action fn = std::move(top.fn);
     queue_.pop();
     ++executed_;
     fn();
   }
+  assert(live_.size() <= queue_.size() && "live events must be a subset of the queue");
   now_ = end;
 }
 

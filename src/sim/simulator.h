@@ -5,12 +5,21 @@
 // scheduling order so execution is fully deterministic. Events can be
 // cancelled by id (used for timers that are usually rearmed, e.g.
 // retransmission timeouts and pacing timers).
+//
+// Robustness guards (src/fault/ relies on these): an optional watchdog
+// aborts runs that exhaust an event budget or stop making time progress
+// (a pathological self-rescheduling-at-now event). An abort is graceful
+// -- the queue is left intact, now() stays at the abort instant, and
+// callers can still harvest metrics and flush traces.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
+#include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
@@ -23,6 +32,20 @@ struct EventId {
   [[nodiscard]] constexpr bool valid() const { return seq != 0; }
   constexpr bool operator==(const EventId&) const = default;
 };
+
+/// Run-invariant guards. Zero disables a guard; the defaults keep the
+/// engine's historical unguarded behavior.
+struct WatchdogParams {
+  /// Aborts once this many events have executed (runaway-run budget).
+  std::uint64_t max_events = 0;
+  /// Aborts when this many events execute back-to-back at one simulated
+  /// instant without time advancing (an event loop rescheduling itself
+  /// at now() would otherwise spin forever).
+  std::uint64_t max_events_per_timestamp = 0;
+};
+
+/// Why a watchdog stopped the run.
+enum class AbortCause : std::uint8_t { kNone, kEventBudget, kTimestampStall };
 
 /// The event loop. Single-threaded by design: one Simulator per
 /// experiment run; parallelism, when wanted, is across runs.
@@ -41,20 +64,36 @@ class Simulator {
   EventId after(TimePs delay, Action fn) { return at(now_ + delay, std::move(fn)); }
 
   /// Cancels a pending event. Returns true if the event had not yet run
-  /// (or been cancelled). Safe to call with an invalid id.
+  /// (or been cancelled). Safe to call with an invalid id, and with the
+  /// id of an event that already executed.
   bool cancel(EventId id);
 
-  /// Runs all events with time <= `end`, then sets now() == end.
+  /// Runs all events with time <= `end`, then sets now() == end. After
+  /// a watchdog abort, returns immediately and now() stays put.
   void run_until(TimePs end);
 
-  /// Pops and runs the single earliest event. Returns false if idle.
+  /// Pops and runs the single earliest event. Returns false if idle or
+  /// aborted.
   bool run_one();
 
-  /// Number of events still queued (including cancelled tombstones).
-  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Number of events scheduled but not yet run or cancelled. Live ids
+  /// are tracked in their own set, so a cancellation can never make
+  /// this underflow (cancelling an already-run event is a no-op).
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
 
   /// Total events executed since construction (for engine benchmarks).
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Installs (or, with default params, clears) the run watchdog.
+  void set_watchdog(WatchdogParams wd) { watchdog_ = wd; }
+  [[nodiscard]] const WatchdogParams& watchdog() const { return watchdog_; }
+
+  /// True once a watchdog guard has tripped; the engine refuses to
+  /// execute further events but keeps all state readable.
+  [[nodiscard]] bool aborted() const { return abort_cause_ != AbortCause::kNone; }
+  [[nodiscard]] AbortCause abort_cause() const { return abort_cause_; }
+  /// Human-readable abort explanation; empty while not aborted.
+  [[nodiscard]] const std::string& abort_reason() const { return abort_reason_; }
 
  private:
   struct Event {
@@ -68,43 +107,88 @@ class Simulator {
     mutable Action fn;  // moved out when executed
   };
 
+  /// Checks the watchdog before executing the event at `t`. Returns
+  /// false (and records the abort) when a guard trips.
+  bool guard_event(TimePs t);
+
   TimePs now_{};
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  /// Seqs of scheduled events that have neither run nor been cancelled.
+  /// Always a subset of the queue's entries by construction: at()
+  /// inserts, cancel()/execution erase.
+  std::unordered_set<std::uint64_t> live_;
+
+  WatchdogParams watchdog_;
+  AbortCause abort_cause_ = AbortCause::kNone;
+  std::string abort_reason_;
+  TimePs last_exec_time_{};
+  std::uint64_t same_time_streak_ = 0;
 };
 
-/// Self-rescheduling periodic task. The task stops when destroyed or
-/// when stop() is called; the first tick fires one period from start.
+/// Self-rescheduling periodic task; the first tick fires one period
+/// from start. stop() leaves the task restartable via start(); a
+/// default-constructed or moved-from task is explicitly dead (all
+/// operations are no-ops). State lives behind a stable heap allocation,
+/// so tasks are movable and can be stored in vectors.
 class PeriodicTask {
  public:
   PeriodicTask() = default;
   PeriodicTask(Simulator& sim, TimePs period, std::function<void()> fn)
-      : sim_(&sim), period_(period), fn_(std::move(fn)) {
-    arm();
+      : state_(std::make_unique<State>(&sim, period, std::move(fn))) {
+    arm(*state_);
   }
   PeriodicTask(const PeriodicTask&) = delete;
   PeriodicTask& operator=(const PeriodicTask&) = delete;
+  PeriodicTask(PeriodicTask&&) noexcept = default;
+  PeriodicTask& operator=(PeriodicTask&& o) noexcept {
+    if (this != &o) {
+      stop();
+      state_ = std::move(o.state_);
+    }
+    return *this;
+  }
   ~PeriodicTask() { stop(); }
 
+  /// Cancels the pending tick. The task keeps its simulator, period and
+  /// callback, so start() can rearm it later.
   void stop() {
-    if (sim_ != nullptr) sim_->cancel(pending_);
-    pending_ = {};
+    if (state_ == nullptr) return;
+    state_->sim->cancel(state_->pending);
+    state_->pending = {};
   }
 
+  /// Rearms a stopped task (next tick one period from now). No-op when
+  /// already running or dead.
+  void start() {
+    if (state_ == nullptr || state_->pending.valid()) return;
+    arm(*state_);
+  }
+
+  /// True while a tick is scheduled. Dead tasks report false.
+  [[nodiscard]] bool running() const { return state_ != nullptr && state_->pending.valid(); }
+
  private:
-  void arm() {
-    pending_ = sim_->after(period_, [this] {
-      arm();  // rearm first so fn_ may stop() the task
-      fn_();
+  /// The scheduled closure captures this stable address, never the
+  /// PeriodicTask itself -- which is what makes moves safe.
+  struct State {
+    State(Simulator* s, TimePs p, std::function<void()> f)
+        : sim(s), period(p), fn(std::move(f)) {}
+    Simulator* sim;
+    TimePs period;
+    std::function<void()> fn;
+    EventId pending{};
+  };
+
+  static void arm(State& s) {
+    s.pending = s.sim->after(s.period, [sp = &s] {
+      arm(*sp);  // rearm first so fn may stop() the task
+      sp->fn();
     });
   }
 
-  Simulator* sim_ = nullptr;
-  TimePs period_{};
-  std::function<void()> fn_;
-  EventId pending_{};
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace hicc::sim

@@ -12,9 +12,13 @@
 #include <thread>
 #include <utility>
 
+#include <sstream>
+#include <stdexcept>
+
 #include "common/fmt.h"
 #include "common/rng.h"
 #include "core/experiment.h"
+#include "core/validate.h"
 #include "trace/trace.h"
 
 namespace hicc::sweep {
@@ -94,6 +98,10 @@ void write_config(std::ostream& os, const ExperimentConfig& cfg, int indent) {
   o.field("warmup_us", cfg.warmup.us());
   o.field("measure_us", cfg.measure.us());
   o.field("seed", cfg.seed);
+  // Spec-grammar form (docs/FAULTS.md); round-trips through
+  // fault::parse_script, so a point's scenario can be replayed from
+  // the sweep record alone.
+  o.field("faults", cfg.faults.to_spec().c_str());
   o.close();
 }
 
@@ -131,6 +139,12 @@ void write_metrics(std::ostream& os, const Metrics& m, int indent) {
   o.field("pcie_write_buffer_stalls", m.pcie_write_buffer_stalls);
   o.field("hol_descriptor_stalls", m.hol_descriptor_stalls);
   o.field("avg_cwnd", m.avg_cwnd);
+  o.field("fault_windows", m.fault_windows);
+  o.field("fault_drops", m.fault_drops);
+  o.field("fault_active_us", m.fault_active_us);
+  o.field("fault_blind_us", m.fault_blind_us);
+  o.field("run_status", to_string(m.run_status));
+  o.field("run_status_detail", m.run_status_detail.c_str());
   o.field("simulated_seconds", m.simulated_seconds);
   o.field("events_executed", m.events_executed);
   o.close();
@@ -156,6 +170,23 @@ std::vector<SweepResult> SweepRunner::run(std::vector<ExperimentConfig> points) 
   if (opts_.reseed) {
     for (std::size_t i = 0; i < total; ++i) {
       points[i].seed = derive_seed(opts_.sweep_seed, i);
+    }
+  }
+
+  // Validate every point up front so a bad sweep fails before any work
+  // starts, with every violation of every point in one message.
+  {
+    std::ostringstream bad;
+    std::size_t bad_points = 0;
+    for (std::size_t i = 0; i < total; ++i) {
+      const auto violations = validate(points[i]);
+      if (violations.empty()) continue;
+      if (bad_points++ > 0) bad << '\n';
+      bad << "point " << i << ":\n" << describe(violations);
+    }
+    if (bad_points > 0) {
+      throw std::invalid_argument("invalid sweep configuration (" +
+                                  std::to_string(bad_points) + " bad point(s)):\n" + bad.str());
     }
   }
 

@@ -1,7 +1,9 @@
 // Unit tests for the discrete-event engine: ordering, cancellation,
-// determinism, periodic tasks, and a queueing sanity property.
+// determinism, periodic tasks, watchdog guards, and a queueing sanity
+// property.
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
@@ -96,6 +98,21 @@ TEST(Simulator, CancelInvalidIdIsSafe) {
   EXPECT_FALSE(sim.cancel(EventId{999}));
 }
 
+// Regression: cancelling an event that already executed used to count a
+// phantom tombstone and underflow pending() to SIZE_MAX.
+TEST(Simulator, CancelAfterExecutionIsNoOp) {
+  Simulator sim;
+  int ran = 0;
+  const EventId id = sim.at(1_us, [&] { ++ran; });
+  sim.run_until(2_us);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 0u);  // must not underflow
+  sim.at(3_us, [] {});
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
 TEST(Simulator, PendingCountsUncancelledOnly) {
   Simulator sim;
   const auto a = sim.at(1_us, [] {});
@@ -139,6 +156,141 @@ TEST(PeriodicTask, DestructorStops) {
   }
   sim.run_until(10_us);
   EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicTask, StopThenStartRearms) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTask task(sim, 1_us, [&] { ++ticks; });
+  sim.run_until(2_us);
+  EXPECT_EQ(ticks, 2);
+  task.stop();
+  EXPECT_FALSE(task.running());
+  sim.run_until(5_us);
+  EXPECT_EQ(ticks, 2);  // stopped: no ticks at 3/4/5us
+  task.start();
+  EXPECT_TRUE(task.running());
+  task.start();  // no-op while running
+  sim.run_until(7_us);  // restarted at 5us: ticks at 6 and 7us
+  EXPECT_EQ(ticks, 4);
+}
+
+TEST(PeriodicTask, DefaultConstructedIsDead) {
+  PeriodicTask task;
+  EXPECT_FALSE(task.running());
+  task.stop();   // all operations are no-ops
+  task.start();
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, MovedFromIsDead) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTask a(sim, 1_us, [&] { ++ticks; });
+  PeriodicTask b = std::move(a);
+  EXPECT_FALSE(a.running());  // NOLINT(bugprone-use-after-move): dead, not UB
+  a.stop();
+  a.start();
+  EXPECT_FALSE(a.running());
+  EXPECT_TRUE(b.running());
+  sim.run_until(2_us);
+  EXPECT_EQ(ticks, 2);  // the moved-to task kept the schedule
+}
+
+TEST(PeriodicTask, MoveAssignStopsTheOverwrittenTask) {
+  Simulator sim;
+  int slow = 0;
+  int fast = 0;
+  PeriodicTask task(sim, 3_us, [&] { ++slow; });
+  task = PeriodicTask(sim, 1_us, [&] { ++fast; });
+  sim.run_until(6_us);
+  EXPECT_EQ(slow, 0);  // the overwritten task never fires
+  EXPECT_EQ(fast, 6);
+}
+
+TEST(PeriodicTask, MovableIntoContainers) {
+  Simulator sim;
+  int ticks = 0;
+  std::vector<PeriodicTask> tasks;
+  tasks.emplace_back(sim, 1_us, [&] { ++ticks; });
+  tasks.emplace_back(sim, 2_us, [&] { ++ticks; });
+  tasks.reserve(32);  // forces a reallocation, i.e. moves of live tasks
+  sim.run_until(2_us);
+  EXPECT_EQ(ticks, 3);  // 1us task at 1/2us, 2us task at 2us
+  tasks.clear();
+  sim.run_until(10_us);
+  EXPECT_EQ(ticks, 3);  // destruction stopped them
+}
+
+// ------------------------------------------------------------ watchdog
+
+TEST(Watchdog, DisabledByDefault) {
+  Simulator sim;
+  EXPECT_EQ(sim.watchdog().max_events, 0u);
+  EXPECT_EQ(sim.watchdog().max_events_per_timestamp, 0u);
+  EXPECT_FALSE(sim.aborted());
+  EXPECT_EQ(sim.abort_cause(), AbortCause::kNone);
+  EXPECT_TRUE(sim.abort_reason().empty());
+}
+
+TEST(Watchdog, EventBudgetAbortsGracefully) {
+  Simulator sim;
+  sim.set_watchdog(WatchdogParams{.max_events = 3});
+  int ran = 0;
+  for (int i = 1; i <= 5; ++i) sim.at(TimePs::from_us(i), [&] { ++ran; });
+  sim.run_until(10_us);
+  EXPECT_EQ(ran, 3);
+  EXPECT_TRUE(sim.aborted());
+  EXPECT_EQ(sim.abort_cause(), AbortCause::kEventBudget);
+  EXPECT_FALSE(sim.abort_reason().empty());
+  EXPECT_EQ(sim.now(), 3_us);    // abort instant, not the requested end
+  EXPECT_EQ(sim.pending(), 2u);  // queue left intact and readable
+}
+
+TEST(Watchdog, TimestampStallAborts) {
+  Simulator sim;
+  sim.set_watchdog(WatchdogParams{.max_events_per_timestamp = 100});
+  std::function<void()> spin = [&] { sim.after(TimePs(0), spin); };
+  sim.at(1_us, spin);
+  sim.run_until(2_us);  // would otherwise never return
+  EXPECT_TRUE(sim.aborted());
+  EXPECT_EQ(sim.abort_cause(), AbortCause::kTimestampStall);
+  EXPECT_NE(sim.abort_reason().find("no time progress"), std::string::npos);
+  EXPECT_EQ(sim.now(), 1_us);
+  EXPECT_LE(sim.executed(), 100u);
+}
+
+TEST(Watchdog, AdvancingTimeResetsTheStallStreak) {
+  Simulator sim;
+  sim.set_watchdog(WatchdogParams{.max_events_per_timestamp = 3});
+  int ticks = 0;
+  // Two events per timestamp, under the threshold of three, across many
+  // timestamps: the streak must reset every time `now` advances.
+  for (int i = 1; i <= 20; ++i) {
+    sim.at(TimePs::from_us(i), [&] { ++ticks; });
+    sim.at(TimePs::from_us(i), [&] { ++ticks; });
+  }
+  sim.run_until(30_us);
+  EXPECT_FALSE(sim.aborted());
+  EXPECT_EQ(ticks, 40);
+}
+
+TEST(Watchdog, AbortedSimulatorRefusesFurtherWork) {
+  Simulator sim;
+  sim.set_watchdog(WatchdogParams{.max_events = 1});
+  int ran = 0;
+  sim.at(1_us, [&] { ++ran; });
+  sim.at(2_us, [&] { ++ran; });
+  sim.run_until(10_us);
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.aborted());
+  sim.run_until(20_us);  // no-op
+  EXPECT_FALSE(sim.run_one());
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), 1_us);
+  // State stays fully readable for post-mortem metrics.
+  EXPECT_EQ(sim.executed(), 1u);
+  EXPECT_EQ(sim.pending(), 1u);
 }
 
 // Property: an M/D/1-style single server driven through the simulator
