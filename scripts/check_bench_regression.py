@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Gate engine-bench regressions against the committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json \
+        [--benchmark BM_SimulatorScheduleRun] [--threshold 0.25]
+
+Both files are `hicc.bench.v1` records written by
+`bench/micro_engine --json=PATH` (see docs/PERFORMANCE.md).
+
+Raw ns/op is not comparable across machines -- CI runners and the
+machine that produced the committed baseline differ in clock speed,
+turbo behavior, and co-tenancy. Every micro_engine run therefore
+includes BM_ReferenceSpin, a pure-ALU spin that measures the machine,
+not the engine. This script compares *normalized* cost,
+
+    rel = ns_per_op(target) / ns_per_op(BM_ReferenceSpin)
+
+and fails when the current run's `rel` exceeds the baseline's by more
+than `--threshold` (default 25%).
+
+The target benchmark's allocs_per_op is also gated: the zero-allocation
+steady state is a correctness property of the engine (see
+tests/sim_test.cpp SteadyStateIsAllocationFree), so any drift above
+the baseline + 0.01 fails regardless of speed.
+"""
+
+import argparse
+import json
+import sys
+
+REFERENCE = "BM_ReferenceSpin"
+SCHEMA = "hicc.bench.v1"
+
+
+def load(path):
+    with open(path) as f:
+        record = json.load(f)
+    if record.get("schema") != SCHEMA:
+        sys.exit(f"{path}: expected schema {SCHEMA!r}, got {record.get('schema')!r}")
+    rows = {row["name"]: row for row in record["benchmarks"]}
+    if not rows:
+        sys.exit(f"{path}: no benchmark rows")
+    return rows
+
+
+def pick(rows, name, path):
+    if name not in rows:
+        sys.exit(f"{path}: benchmark {name!r} missing (have: {sorted(rows)})")
+    row = rows[name]
+    if row["ns_per_op"] <= 0:
+        sys.exit(f"{path}: {name} has non-positive ns_per_op")
+    return row
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--benchmark", default="BM_SimulatorScheduleRun")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional regression in normalized ns/op")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    base_ref = pick(base, REFERENCE, args.baseline)
+    cur_ref = pick(cur, REFERENCE, args.current)
+    base_row = pick(base, args.benchmark, args.baseline)
+    cur_row = pick(cur, args.benchmark, args.current)
+
+    base_rel = base_row["ns_per_op"] / base_ref["ns_per_op"]
+    cur_rel = cur_row["ns_per_op"] / cur_ref["ns_per_op"]
+    ratio = cur_rel / base_rel
+
+    print(f"{args.benchmark}:")
+    print(f"  baseline: {base_row['ns_per_op']:8.2f} ns/op "
+          f"(ref {base_ref['ns_per_op']:.2f} ns -> rel {base_rel:.4f})")
+    print(f"  current:  {cur_row['ns_per_op']:8.2f} ns/op "
+          f"(ref {cur_ref['ns_per_op']:.2f} ns -> rel {cur_rel:.4f})")
+    print(f"  normalized ratio: {ratio:.3f} "
+          f"(fail above {1 + args.threshold:.3f})")
+
+    failed = False
+    if ratio > 1 + args.threshold:
+        print(f"FAIL: {args.benchmark} regressed "
+              f"{(ratio - 1) * 100:.1f}% (normalized) vs baseline")
+        failed = True
+
+    base_allocs = base_row.get("allocs_per_op", 0.0)
+    cur_allocs = cur_row.get("allocs_per_op", 0.0)
+    print(f"  allocs_per_op: baseline {base_allocs:.4f}, current {cur_allocs:.4f}")
+    if cur_allocs > base_allocs + 0.01:
+        print(f"FAIL: {args.benchmark} allocates on the hot path "
+              f"({cur_allocs:.4f}/op vs baseline {base_allocs:.4f}/op)")
+        failed = True
+
+    if failed:
+        sys.exit(1)
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

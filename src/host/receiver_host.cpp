@@ -56,17 +56,16 @@ ReceiverHost::ReceiverHost(sim::Simulator& sim, mem::MemorySystem& mem,
   copy_client_ = mem_.add_open(mem::MemClass::kCpuCopy, /*read_fraction=*/1.0);
   accounting_.emplace(sim_, params_.accounting_period, [this] { refresh_copy_demand(); });
 
-  nic_->set_callbacks(nic::Nic::Callbacks{
-      .deliver = [this](int t, net::Packet p,
-                        TimePs arr) { on_delivered(t, std::move(p), arr); },
-      .transmit = [this](net::Packet p) { return transmit_ ? transmit_(std::move(p)) : false; },
-      .buffer_pressure =
-          params_.send_host_signals ? std::function<void()>([this] { on_buffer_pressure(); })
-                                    : std::function<void()>(),
-  });
+  nic::Nic::Callbacks cbs;
+  cbs.deliver = [this](int t, net::Packet p, TimePs arr) { on_delivered(t, std::move(p), arr); };
+  cbs.transmit = [this](net::Packet p) { return transmit_ ? transmit_(std::move(p)) : false; };
+  if (params_.send_host_signals) {
+    cbs.buffer_pressure = [this] { on_buffer_pressure(); };
+  }
+  nic_->set_callbacks(std::move(cbs));
 }
 
-void ReceiverHost::set_transmit(std::function<bool(net::Packet)> transmit) {
+void ReceiverHost::set_transmit(sim::InlineCallback<bool(net::Packet)> transmit) {
   transmit_ = std::move(transmit);
 }
 

@@ -15,7 +15,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -95,7 +94,7 @@ class ReceiverHost {
   ReceiverHost& operator=(const ReceiverHost&) = delete;
 
   /// Wires the reverse path; must be called before start().
-  void set_transmit(std::function<bool(net::Packet)> transmit);
+  void set_transmit(sim::InlineCallback<bool(net::Packet)> transmit);
 
   /// Issues the initial pipeline of reads on every flow (staggered a
   /// few microseconds to avoid synchronization artifacts).
@@ -168,7 +167,7 @@ class ReceiverHost {
   std::unique_ptr<pcie::PcieBus> pcie_;
   std::unique_ptr<nic::Nic> nic_;
   std::vector<std::unique_ptr<RxThread>> threads_;
-  std::function<bool(net::Packet)> transmit_;
+  sim::InlineCallback<bool(net::Packet)> transmit_;
 
   /// Packets remaining in the current read of each flow, the per-flow
   /// read size in packets, and (victims) when the read was issued.

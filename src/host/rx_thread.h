@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <utility>
 
 #include "common/rng.h"
@@ -33,7 +32,7 @@ class RxThread {
  public:
   /// `processed(pkt, nic_arrival)` fires when the stack finishes a
   /// packet -- the end of the paper's "host delay" interval.
-  using ProcessedFn = std::function<void(const net::Packet&, TimePs)>;
+  using ProcessedFn = sim::InlineCallback<void(const net::Packet&, TimePs)>;
 
   RxThread(sim::Simulator& sim, int id, RxThreadParams params, Rng rng, ProcessedFn processed)
       : sim_(sim), id_(id), params_(params), rng_(rng), processed_(std::move(processed)) {}

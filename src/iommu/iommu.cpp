@@ -74,16 +74,22 @@ std::optional<TimePs> Iommu::try_translate(Iova iova) {
   return std::nullopt;
 }
 
-void Iommu::translate_slow(Iova iova, std::function<void()> done) {
+void Iommu::translate_slow(Iova iova, sim::InlineCallback<void()> done) {
   const auto region = table_.find(iova);
-  const PageSize ps = region ? region->page_size : PageSize::k4K;
-  walk_queue_.push_back(Walk{iova, ps, std::move(done), /*is_invalidation=*/false});
+  Walk walk;
+  walk.iova = iova;
+  walk.page_size = region ? region->page_size : PageSize::k4K;
+  walk.done = std::move(done);
+  walk_queue_.push_back(std::move(walk));
   pump_walkers();
 }
 
 void Iommu::invalidate_page_async(Iova iova) {
   (void)invalidate_page(iova);  // entry disappears immediately
-  walk_queue_.push_back(Walk{iova, PageSize::k4K, nullptr, /*is_invalidation=*/true});
+  Walk inval;
+  inval.iova = iova;
+  inval.is_invalidation = true;
+  walk_queue_.push_back(std::move(inval));
   pump_walkers();
 }
 
@@ -117,7 +123,6 @@ void Iommu::pump_walkers() {
     // always read (its absence from the IOTLB is why we are walking);
     // upper levels are skipped when the page-walk caches cover them.
     // Levels are read root-first: L4 -> L3 -> L2 [-> L1].
-    std::vector<int> levels;
     const int leaf = (walk.page_size == PageSize::k4K) ? 1 : 2;
     for (int level = 4; level >= leaf; --level) {
       bool cached = false;
@@ -126,20 +131,23 @@ void Iommu::pump_walkers() {
       if (level == 2 && leaf != 2 && params_.pwc_l2_entries > 0) {
         cached = pwc_l2_.lookup(pwc_tag(walk.iova, 2));
       }
-      if (level == leaf || !cached) levels.push_back(level);
+      if (level == leaf || !cached) {
+        walk.levels[walk.num_levels++] = static_cast<std::int8_t>(level);
+      }
     }
-    walk_step(std::move(walk), std::move(levels), 0);
+    walk_step(std::move(walk));
   }
 }
 
-void Iommu::walk_step(Walk walk, std::vector<int> levels, std::size_t next) {
-  if (next >= levels.size()) {
+void Iommu::walk_step(Walk walk) {
+  if (walk.next_level >= walk.num_levels) {
     // Walk complete: install the leaf in the IOTLB and the traversed
     // upper levels in the page-walk caches.
     const auto region = table_.find(walk.iova);
     if (region) iotlb_.insert(IoPageTable::page_base(*region, walk.iova));
     const int leaf = (walk.page_size == PageSize::k4K) ? 1 : 2;
-    for (int level : levels) {
+    for (std::uint8_t i = 0; i < walk.num_levels; ++i) {
+      const int level = walk.levels[i];
       if (level == leaf) continue;
       if (level == 4) pwc_l4_.insert(pwc_tag(walk.iova, 4));
       if (level == 3) pwc_l3_.insert(pwc_tag(walk.iova, 3));
@@ -160,8 +168,11 @@ void Iommu::walk_step(Walk walk, std::vector<int> levels, std::size_t next) {
       rng_.chance(params_.pt_cache_hit_fraction)
           ? params_.pt_cache_latency
           : mem_.request(mem::MemClass::kIommuWalk, mem::kCacheLine, true);
-  sim_.after(latency, [this, walk = std::move(walk), levels = std::move(levels), next]() mutable {
-    walk_step(std::move(walk), std::move(levels), next + 1);
+  ++walk.next_level;
+  // `[this, walk]` is 72 bytes: the whole chained walk state rides in
+  // the event node's inline buffer.
+  sim_.after(latency, [this, walk = std::move(walk)]() mutable {
+    walk_step(std::move(walk));
   });
 }
 

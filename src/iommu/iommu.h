@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <optional>
 
 #include "common/rng.h"
@@ -119,7 +118,7 @@ class Iommu {
   /// Slow path: queues a page walk for `iova`; `done` runs when the
   /// translation is installed (walk latency has already elapsed on the
   /// simulator clock). Call only after try_translate() returned nullopt.
-  void translate_slow(Iova iova, std::function<void()> done);
+  void translate_slow(Iova iova, sim::InlineCallback<void()> done);
 
   [[nodiscard]] const IommuStats& stats() const { return stats_; }
 
@@ -128,17 +127,24 @@ class Iommu {
   [[nodiscard]] std::int64_t mapped_pages() const { return table_.total_mapped_pages(); }
 
  private:
+  /// One queued walk (or invalidation command). The levels still to be
+  /// read are a fixed in-object array (root-first; at most L4..L1), so
+  /// the whole Walk rides inside an event closure's inline buffer --
+  /// no per-walk heap allocation.
   struct Walk {
-    Iova iova;
-    PageSize page_size;
-    std::function<void()> done;
+    Iova iova = 0;
+    PageSize page_size = PageSize::k4K;
     bool is_invalidation = false;
+    std::uint8_t num_levels = 0;
+    std::uint8_t next_level = 0;  // index into `levels` of the next read
+    std::int8_t levels[4] = {};
+    sim::InlineCallback<void()> done;
   };
 
   /// Starts queued walks while walkers are available.
   void pump_walkers();
-  /// Executes one level read of `walk`; chains to the next level.
-  void walk_step(Walk walk, std::vector<int> levels, std::size_t next);
+  /// Executes the next level read of `walk`; chains until done.
+  void walk_step(Walk walk);
 
   sim::Simulator& sim_;
   mem::MemorySystem& mem_;

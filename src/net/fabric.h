@@ -11,8 +11,8 @@
 // verify the "all drops are host drops" claim (Fig 1 footnote).
 #pragma once
 
-#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
@@ -41,8 +41,8 @@ class Fabric {
   /// receiver's NIC port; `to_sender(i, p)` for packets arriving at
   /// sender i.
   Fabric(sim::Simulator& sim, const FabricParams& params,
-         std::function<void(Packet)> to_receiver,
-         std::function<void(int, Packet)> to_sender)
+         sim::InlineCallback<void(Packet)> to_receiver,
+         sim::InlineCallback<void(int, Packet)> to_sender)
       : params_(params), to_sender_(std::move(to_sender)) {
     access_ = std::make_unique<QueuedLink>(sim, params.link_rate, params.access_propagation,
                                            params.switch_buffer, std::move(to_receiver));
@@ -96,7 +96,7 @@ class Fabric {
   }
 
   FabricParams params_;
-  std::function<void(int, Packet)> to_sender_;
+  sim::InlineCallback<void(int, Packet)> to_sender_;
   std::unique_ptr<QueuedLink> access_;
   std::unique_ptr<QueuedLink> reverse_;
   std::vector<std::unique_ptr<QueuedLink>> uplinks_;

@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <utility>
 
 #include "common/rng.h"
@@ -19,10 +18,14 @@ namespace hicc::net {
 /// Byte-bounded output-queued link.
 class QueuedLink {
  public:
+  /// Inline-storage delivery callback: link delivery fires once per
+  /// surviving packet, so the handler must not heap-allocate.
+  using DeliverFn = sim::InlineCallback<void(Packet)>;
+
   /// `deliver` is invoked (at arrival time) for every packet that
   /// survives the queue.
   QueuedLink(sim::Simulator& sim, BitRate rate, TimePs propagation, Bytes queue_capacity,
-             std::function<void(Packet)> deliver)
+             DeliverFn deliver)
       : sim_(sim),
         rate_(rate),
         propagation_(propagation),
@@ -85,7 +88,7 @@ class QueuedLink {
   BitRate rate_;
   TimePs propagation_;
   Bytes capacity_;
-  std::function<void(Packet)> deliver_;
+  DeliverFn deliver_;
   TimePs busy_until_{};
   Bytes queued_{};
   std::int64_t drops_ = 0;

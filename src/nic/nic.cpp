@@ -7,7 +7,7 @@ namespace hicc::nic {
 
 Nic::Nic(sim::Simulator& sim, pcie::PcieBus& pcie, iommu::Iommu& iommu, NicParams params,
          int num_threads, Bytes data_region_size, iommu::PageSize data_page,
-         std::function<int(std::int32_t)> thread_of_flow, Rng rng, trace::Tracer* tracer)
+         sim::InlineCallback<int(std::int32_t)> thread_of_flow, Rng rng, trace::Tracer* tracer)
     : sim_(sim),
       pcie_(pcie),
       iommu_(iommu),
@@ -280,8 +280,21 @@ void Nic::send_packet(net::Packet p, int thread) {
       q, params_.ring_pages + params_.cq_pages, params_.ack_pages, q.ack_cursor++);
   ++stats_.tx_packets;
   const Bytes fetch = p.wire;
-  pcie_.send_read(ack, fetch, [this, p = std::move(p)]() mutable {
-    if (cbs_.transmit) cbs_.transmit(std::move(p));
+  // Park the packet in the stash; slots recycle, so steady-state Tx
+  // never allocates and completions may finish in any order.
+  std::int32_t slot;
+  if (!tx_free_.empty()) {
+    slot = tx_free_.back();
+    tx_free_.pop_back();
+    tx_stash_[static_cast<std::size_t>(slot)] = std::move(p);
+  } else {
+    slot = static_cast<std::int32_t>(tx_stash_.size());
+    tx_stash_.push_back(std::move(p));
+  }
+  pcie_.send_read(ack, fetch, [this, slot] {
+    net::Packet pkt = std::move(tx_stash_[static_cast<std::size_t>(slot)]);
+    tx_free_.push_back(slot);
+    if (cbs_.transmit) cbs_.transmit(std::move(pkt));
   });
 }
 

@@ -20,7 +20,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -92,10 +91,12 @@ class Nic {
   /// packet to a host thread; `transmit` puts a packet (ACK / read
   /// request) on the reverse fabric path; `buffer_pressure` fires on
   /// arrivals that find the buffer above the signal threshold.
+  /// All three fire on per-packet paths, so they use inline-storage
+  /// callables (the host side captures `[this]`).
   struct Callbacks {
-    std::function<void(int, net::Packet, TimePs)> deliver;
-    std::function<bool(net::Packet)> transmit;
-    std::function<void()> buffer_pressure;
+    sim::InlineCallback<void(int, net::Packet, TimePs)> deliver;
+    sim::InlineCallback<bool(net::Packet)> transmit;
+    sim::InlineCallback<void()> buffer_pressure;
   };
 
   /// Registers per-thread data regions (`data_region_size` each, with
@@ -106,7 +107,7 @@ class Nic {
   /// occupancy -- the arrival and DMA paths are untouched).
   Nic(sim::Simulator& sim, pcie::PcieBus& pcie, iommu::Iommu& iommu, NicParams params,
       int num_threads, Bytes data_region_size, iommu::PageSize data_page,
-      std::function<int(std::int32_t)> thread_of_flow, Rng rng,
+      sim::InlineCallback<int(std::int32_t)> thread_of_flow, Rng rng,
       trace::Tracer* tracer = nullptr);
 
   Nic(const Nic&) = delete;
@@ -195,7 +196,7 @@ class Nic {
   iommu::Iommu& iommu_;
   NicParams params_;
   iommu::PageSize data_page_;
-  std::function<int(std::int32_t)> thread_of_flow_;
+  sim::InlineCallback<int(std::int32_t)> thread_of_flow_;
   Rng rng_;
   Callbacks cbs_;
 
@@ -211,6 +212,12 @@ class Nic {
   /// small credit pools TLPs can retire before the last one is sent.
   std::int64_t sending_job_ = -1;
   std::unordered_map<std::int64_t, DmaJob> awaiting_retire_;
+  /// Tx packets parked while their ACK-buffer fetch is on the PCIe bus.
+  /// A free-list slab: the fetch completion captures only `[this,
+  /// slot]`, which keeps the per-ACK closure inside the inline buffer
+  /// (a by-value Packet capture would not fit a CompletionFn).
+  std::vector<net::Packet> tx_stash_;
+  std::vector<std::int32_t> tx_free_;
   std::deque<std::int64_t> cq_pending_;     // jobs whose CQ write awaits credits
   std::int64_t next_job_id_ = 0;
   NicStats stats_;

@@ -29,7 +29,7 @@ PcieBus::PcieBus(sim::Simulator& sim, mem::MemorySystem& mem, iommu::Iommu& iomm
   }
 }
 
-void PcieBus::send_write_tlp(iommu::Iova iova, Bytes payload, std::function<void()> retired,
+void PcieBus::send_write_tlp(iommu::Iova iova, Bytes payload, CompletionFn retired,
                              bool pre_translated) {
   assert(can_send_write(payload));
   credits_free_ -= params_.tlp_wire_bytes(payload);
@@ -37,7 +37,7 @@ void PcieBus::send_write_tlp(iommu::Iova iova, Bytes payload, std::function<void
   transmit(Tlp{iova, payload, /*is_read=*/false, pre_translated, std::move(retired)});
 }
 
-void PcieBus::send_read(iommu::Iova iova, Bytes payload, std::function<void()> done) {
+void PcieBus::send_read(iommu::Iova iova, Bytes payload, CompletionFn done) {
   ++stats_.read_tlps;
   // Read requests carry no data downstream; only the header goes on
   // the wire. (Non-posted credits are not modeled: descriptor/ACK
@@ -46,6 +46,11 @@ void PcieBus::send_read(iommu::Iova iova, Bytes payload, std::function<void()> d
 }
 
 void PcieBus::transmit(Tlp tlp) {
+  // The per-TLP link closure must stay inside the event node's inline
+  // buffer -- a boxed fallback here would mean one heap allocation per
+  // simulated TLP.
+  static_assert(sizeof(Tlp) + sizeof(PcieBus*) <= 80,
+                "[this, tlp] closure must fit InlineAction's inline buffer");
   const Bytes wire =
       tlp.is_read ? params_.tlp_overhead : params_.tlp_wire_bytes(tlp.payload);
   const TimePs start = std::max(link_free_at_, sim_.now());

@@ -28,7 +28,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "common/units.h"
 #include "iommu/iommu.h"
@@ -57,6 +56,11 @@ struct PcieStats {
 /// touch the memory bus (footnote 2 of the paper).
 class PcieBus {
  public:
+  /// Completion callbacks ride the per-TLP hot path; inline storage
+  /// keeps them allocation-free (the NIC captures at most
+  /// `[this, job_id]`-sized state).
+  using CompletionFn = sim::InlineCallback<void()>;
+
   /// `tracer`, when non-null, registers the `pcie.*` probes (all
   /// polled from the credit/queue/buffer state the bus already keeps).
   PcieBus(sim::Simulator& sim, mem::MemorySystem& mem, iommu::Iommu& iommu,
@@ -88,16 +92,16 @@ class PcieBus {
   /// (used for delivery timestamps and completion-queue ordering).
   /// `pre_translated` marks a TLP whose address the device already
   /// translated via ATS; the root complex skips the IOMMU for it.
-  void send_write_tlp(iommu::Iova iova, Bytes payload, std::function<void()> retired,
+  void send_write_tlp(iommu::Iova iova, Bytes payload, CompletionFn retired,
                       bool pre_translated = false);
 
   /// Emits one non-posted read (descriptor or Tx payload fetch) of
   /// `payload` bytes; `done` fires when the completion reaches the NIC.
-  void send_read(iommu::Iova iova, Bytes payload, std::function<void()> done);
+  void send_read(iommu::Iova iova, Bytes payload, CompletionFn done);
 
   /// Registers the single credit-availability subscriber (the NIC DMA
   /// engine); invoked after credits are released.
-  void on_credits_available(std::function<void()> cb) { credits_cb_ = std::move(cb); }
+  void on_credits_available(CompletionFn cb) { credits_cb_ = std::move(cb); }
 
   [[nodiscard]] Bytes credits_free() const { return credits_free_; }
   [[nodiscard]] Bytes credits_in_use() const { return params_.credit_bytes - credits_free_; }
@@ -111,7 +115,7 @@ class PcieBus {
     Bytes payload{};
     bool is_read = false;
     bool pre_translated = false;
-    std::function<void()> done;
+    CompletionFn done;
   };
 
   /// Places a TLP on the downstream link; it joins the RC queue after
@@ -137,7 +141,7 @@ class PcieBus {
   bool rc_busy_ = false;
   bool head_waiting_wb_ = false;
   Bytes wb_used_{};
-  std::function<void()> credits_cb_;
+  CompletionFn credits_cb_;
   PcieStats stats_;
 };
 

@@ -1,0 +1,199 @@
+// Move-only type-erased callables with inline (small-buffer) storage.
+//
+// `std::function` heap-allocates any capture larger than ~16 bytes --
+// on the event-engine hot path that is one malloc/free per simulated
+// packet, TLP and timer. `InlineFunction<Sig, Capacity>` stores the
+// closure in an in-object buffer instead: invoking, moving and
+// destroying a fitting closure never touches the heap. Closures larger
+// than `Capacity` (or over-aligned ones) still work -- they fall back
+// to a single boxed heap allocation -- so correctness never depends on
+// capture size, only performance does. `InlineFunction` is move-only:
+// captures (packets in flight, completion continuations) are owned
+// exactly once, which `std::function`'s copyability silently broke.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hicc::sim {
+
+template <typename Sig, std::size_t Capacity,
+          std::size_t Align = alignof(std::max_align_t)>
+class InlineFunction;  // undefined; only the R(Args...) partial below exists
+
+template <typename R, typename... Args, std::size_t Capacity, std::size_t Align>
+class InlineFunction<R(Args...), Capacity, Align> {
+  // The fallback representation is a pointer into the buffer, so the
+  // buffer must at least hold one (and be aligned for one).
+  static_assert(Capacity >= sizeof(void*), "InlineFunction capacity too small");
+  static_assert(Align >= alignof(void*), "InlineFunction alignment too small");
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= Capacity && alignof(D) <= Align &&
+      std::is_nothrow_move_constructible_v<D>;
+
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& o) noexcept { move_from(o); }
+  InlineFunction& operator=(InlineFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { reset(); }
+
+  InlineFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  /// Rebinds to a new callable, constructing it directly in the inline
+  /// buffer (no intermediate InlineFunction temporary).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction& operator=(F&& f) {
+    reset();
+    emplace(std::forward<F>(f));
+    return *this;
+  }
+
+  /// True when a callable is held.
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Shallow-const like std::function: calling through a const
+  /// reference is allowed and may mutate the held closure's state.
+  R operator()(Args... args) const {
+    return invoke_(const_cast<unsigned char*>(buf_), static_cast<Args&&>(args)...);
+  }
+
+  /// True when the held closure lives in the inline buffer (empty
+  /// functions count as inline). Exposed for the allocation tests.
+  [[nodiscard]] bool is_inline() const {
+    if (manage_ == nullptr) return true;  // empty or trivial inline
+    bool boxed = false;
+    manage_(Op::kQueryBoxed, &boxed, nullptr);
+    return !boxed;
+  }
+
+ private:
+  enum class Op : std::uint8_t { kMove, kDestroy, kQueryBoxed };
+
+  template <typename D>
+  static R invoke_inline(void* buf, Args... args) {
+    return (*static_cast<D*>(buf))(static_cast<Args&&>(args)...);
+  }
+  template <typename D>
+  static void manage_inline(Op op, void* dst, void* src) {
+    switch (op) {
+      case Op::kMove:
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+        break;
+      case Op::kDestroy:
+        static_cast<D*>(dst)->~D();
+        break;
+      case Op::kQueryBoxed:
+        *static_cast<bool*>(dst) = false;
+        break;
+    }
+  }
+
+  template <typename D>
+  static R invoke_boxed(void* buf, Args... args) {
+    return (**static_cast<D**>(buf))(static_cast<Args&&>(args)...);
+  }
+  template <typename D>
+  static void manage_boxed(Op op, void* dst, void* src) {
+    switch (op) {
+      case Op::kMove:
+        *static_cast<D**>(dst) = *static_cast<D**>(src);
+        break;
+      case Op::kDestroy:
+        delete *static_cast<D**>(dst);
+        break;
+      case Op::kQueryBoxed:
+        *static_cast<bool*>(dst) = true;
+        break;
+    }
+  }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(&buf_)) D(std::forward<F>(f));
+      invoke_ = &invoke_inline<D>;
+      // Trivially copyable + destructible closures (`[this]`, POD
+      // packets by value -- the hot-path majority) need no manager:
+      // moves are a buffer copy and destruction is a no-op.
+      if constexpr (!(std::is_trivially_copyable_v<D> &&
+                      std::is_trivially_destructible_v<D>)) {
+        manage_ = &manage_inline<D>;
+      }
+    } else {
+      ::new (static_cast<void*>(&buf_)) D*(new D(std::forward<F>(f)));
+      invoke_ = &invoke_boxed<D>;
+      manage_ = &manage_boxed<D>;
+    }
+  }
+
+  void move_from(InlineFunction& o) noexcept {
+    invoke_ = o.invoke_;
+    manage_ = o.manage_;
+    if (manage_ != nullptr) {
+      manage_(Op::kMove, &buf_, &o.buf_);
+    } else {
+      std::memcpy(&buf_, &o.buf_, Capacity);  // manager-less: trivial bits
+    }
+    o.invoke_ = nullptr;
+    o.manage_ = nullptr;
+  }
+
+  void reset() {
+    if (manage_ != nullptr) manage_(Op::kDestroy, &buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  // Zero-initialized so the manager-less whole-buffer memcpy in
+  // move_from never reads indeterminate bytes (closures smaller than
+  // Capacity leave a tail).
+  alignas(Align) unsigned char buf_[Capacity] = {};
+  R (*invoke_)(void*, Args...) = nullptr;
+  void (*manage_)(Op, void*, void*) = nullptr;
+};
+
+/// The engine's event closure: 80 bytes of inline capture -- enough for
+/// `[this, 64-byte Packet, int64]`, the fattest hot-path closure.
+using InlineAction = InlineFunction<void(), 80>;
+
+/// Component completion callbacks (TLP retirement, translation done):
+/// the hot ones capture `[this]` or `[this, id]`, so 32 bytes suffices.
+/// Pointer alignment (not max_align_t) so a callback embedded in a
+/// struct -- e.g. a PCIe TLP -- doesn't pad the struct past what an
+/// InlineAction capture can hold.
+template <typename Sig>
+using InlineCallback = InlineFunction<Sig, 32, alignof(void*)>;
+
+}  // namespace hicc::sim

@@ -1,26 +1,37 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <utility>
 
 namespace hicc::sim {
 
-EventId Simulator::at(TimePs t, Action fn) {
-  if (t < now_) t = now_;
-  const EventId id{next_seq_++};
-  queue_.push(Event{t, id.seq, std::move(fn)});
-  live_.insert(id.seq);
-  return id;
+Simulator::Simulator() { bucket_head_.fill(kNil); }
+
+std::int32_t Simulator::alloc_node_slow() {
+  // Chunked growth keeps every existing Node at a stable address, so a
+  // closure can run in place while new events are being scheduled.
+  if (node_count_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+  }
+  return static_cast<std::int32_t>(node_count_++);
 }
 
 bool Simulator::cancel(EventId id) {
   if (!id.valid()) return false;
-  // The heap entry stays behind as a tombstone and is discarded when
-  // popped; live_ is the ground truth for what still counts as pending.
-  return live_.erase(id.seq) > 0;
+  if (id.slot >= node_count_) return false;
+  Node& n = node(id.slot);
+  // Generation check: a handle for an event that already ran (or whose
+  // slot was recycled) no longer matches the node's stamp.
+  if (n.seq != id.seq || !n.live) return false;
+  n.live = false;  // tombstone; the node is reclaimed at the next scan
+  n.fn = nullptr;  // release captured resources immediately
+  --live_;
+  return true;
 }
 
-bool Simulator::guard_event(TimePs t) {
+bool Simulator::guard_event_slow(TimePs t) {
   if (watchdog_.max_events != 0 && executed_ >= watchdog_.max_events) {
     abort_cause_ = AbortCause::kEventBudget;
     abort_reason_ = "event budget exhausted (" + std::to_string(watchdog_.max_events) +
@@ -44,47 +55,22 @@ bool Simulator::guard_event(TimePs t) {
   return true;
 }
 
-bool Simulator::run_one() {
-  if (aborted()) return false;
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (auto it = live_.find(top.seq); it == live_.end()) {
-      queue_.pop();  // cancelled tombstone
-      continue;
-    } else {
-      if (!guard_event(top.time)) return false;
-      live_.erase(it);
-    }
-    now_ = top.time;
-    Action fn = std::move(top.fn);
-    queue_.pop();
-    ++executed_;
-    fn();
-    return true;
-  }
-  assert(live_.empty() && "live events must be a subset of the queue");
-  return false;
-}
-
 void Simulator::run_until(TimePs end) {
   if (aborted()) return;
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (auto it = live_.find(top.seq); it == live_.end()) {
-      queue_.pop();  // cancelled tombstone
-      continue;
-    } else {
-      if (end < top.time) break;
-      if (!guard_event(top.time)) return;  // abort: now_ stays put
-      live_.erase(it);
+  for (;;) {
+    const Candidate c = peek_min();
+    if (!c.found) {
+      assert(live_ == 0 && "an idle queue cannot hold live events");
+      break;
     }
-    now_ = top.time;
-    Action fn = std::move(top.fn);
-    queue_.pop();
+    if (end < c.time) break;
+    if (!guard_event(c.time)) return;  // abort: now_ stays put
+    detach(c);
+    now_ = c.time;
     ++executed_;
-    fn();
+    node(static_cast<std::uint32_t>(c.slot)).fn();
+    free_node(c.slot);
   }
-  assert(live_.size() <= queue_.size() && "live events must be a subset of the queue");
   now_ = end;
 }
 

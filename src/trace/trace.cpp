@@ -25,7 +25,23 @@ std::vector<RecordingSink::Sample> RecordingSink::of(const std::string& probe) c
 Tracer::Tracer(sim::Simulator& sim, TraceParams params) : sim_(sim), params_(params) {
   counter("sim.events_executed", "events",
           [this] { return static_cast<double>(sim_.executed()); });
-  gauge("sim.queue_depth", "events", [this] { return static_cast<double>(sim_.pending()); });
+  // Slab occupancy, cancellation tombstones included: the engine's
+  // memory-pressure figure. Always >= sim.pending.
+  gauge("sim.queue_depth", "events",
+        [this] { return static_cast<double>(sim_.queued_nodes()); });
+  // Live events awaiting execution (exact; excludes tombstones).
+  gauge("sim.pending", "events", [this] { return static_cast<double>(sim_.pending()); });
+  // Events retired since the previous sampling tick -- the engine's
+  // instantaneous event rate, scaled by the sample period. The poll
+  // lambda keeps the previous total, so this stays zero-cost on the
+  // hot path like every other polled probe.
+  gauge("sim.events_per_poll", "events",
+        [this, last = std::uint64_t{0}]() mutable {
+          const std::uint64_t total = sim_.executed();
+          const double delta = static_cast<double>(total - last);
+          last = total;
+          return delta;
+        });
 }
 
 ProbeId Tracer::intern(std::string name, Kind kind, std::string unit,

@@ -131,7 +131,8 @@ class RecordingSink final : public TraceSink {
 class Tracer {
  public:
   /// Registers the simulator's own probes (`sim.events_executed`,
-  /// `sim.queue_depth`) immediately; the sampler is armed by start().
+  /// `sim.queue_depth`, `sim.pending`, `sim.events_per_poll`)
+  /// immediately; the sampler is armed by start().
   explicit Tracer(sim::Simulator& sim, TraceParams params = {});
 
   Tracer(const Tracer&) = delete;

@@ -29,10 +29,43 @@ TEST(Tracer, RegistersSimulatorProbesOnConstruction) {
   Tracer tracer(sim);
   ASSERT_TRUE(tracer.find("sim.events_executed").has_value());
   ASSERT_TRUE(tracer.find("sim.queue_depth").has_value());
+  ASSERT_TRUE(tracer.find("sim.pending").has_value());
+  ASSERT_TRUE(tracer.find("sim.events_per_poll").has_value());
   EXPECT_EQ(tracer.probes()[0].name, "sim.events_executed");
   EXPECT_EQ(tracer.probes()[0].kind, Kind::kCounter);
   EXPECT_EQ(tracer.probes()[1].name, "sim.queue_depth");
   EXPECT_EQ(tracer.probes()[1].kind, Kind::kGauge);
+  EXPECT_EQ(tracer.probes()[2].name, "sim.pending");
+  EXPECT_EQ(tracer.probes()[2].kind, Kind::kGauge);
+  EXPECT_EQ(tracer.probes()[3].name, "sim.events_per_poll");
+  EXPECT_EQ(tracer.probes()[3].kind, Kind::kGauge);
+}
+
+// sim.pending tracks live events exactly, sim.queue_depth includes
+// cancellation tombstones until the queue scan reclaims them, and
+// sim.events_per_poll reports the executed-count delta between
+// consecutive sampling passes.
+TEST(Tracer, EngineProbesTrackQueueAndEventRate) {
+  sim::Simulator sim;
+  Tracer tracer(sim);
+  const std::size_t pending_ix =
+      static_cast<std::size_t>(tracer.find("sim.pending")->index);
+  const std::size_t depth_ix =
+      static_cast<std::size_t>(tracer.find("sim.queue_depth")->index);
+  const std::size_t rate_ix =
+      static_cast<std::size_t>(tracer.find("sim.events_per_poll")->index);
+
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(sim.at(TimePs(1000 + i), [] {}));
+  sim.cancel(ids[0]);
+  EXPECT_DOUBLE_EQ(tracer.value_at(pending_ix), 7.0);
+  EXPECT_DOUBLE_EQ(tracer.value_at(depth_ix), 8.0);  // tombstone still queued
+
+  EXPECT_DOUBLE_EQ(tracer.value_at(rate_ix), 0.0);  // nothing ran yet
+  sim.run_until(TimePs(2000));
+  EXPECT_DOUBLE_EQ(tracer.value_at(rate_ix), 7.0);  // 7 since last poll
+  EXPECT_DOUBLE_EQ(tracer.value_at(rate_ix), 0.0);  // delta resets per poll
+  EXPECT_DOUBLE_EQ(tracer.value_at(pending_ix), 0.0);
 }
 
 TEST(Tracer, RegistrationIsGetOrCreateByName) {
@@ -267,6 +300,8 @@ ExperimentConfig small_config() {
 const char* const kDocumentedProbes[] = {
     "sim.events_executed",
     "sim.queue_depth",
+    "sim.pending",
+    "sim.events_per_poll",
     "nic.buffer_bytes",
     "nic.buffer_drops",
     "nic.delivered",
