@@ -23,6 +23,11 @@ The target benchmark's allocs_per_op is also gated: the zero-allocation
 steady state is a correctness property of the engine (see
 tests/sim_test.cpp SteadyStateIsAllocationFree), so any drift above
 the baseline + 0.01 fails regardless of speed.
+
+Exit codes: 0 pass, 1 perf/alloc regression, 2 malformed or
+unknown-schema record (an environment/tooling problem, not a
+regression -- CI can distinguish "the engine got slower" from "the
+record is unreadable").
 """
 
 import argparse
@@ -31,16 +36,37 @@ import sys
 
 REFERENCE = "BM_ReferenceSpin"
 SCHEMA = "hicc.bench.v1"
+EXIT_REGRESSION = 1
+EXIT_BAD_RECORD = 2
+
+
+def bad_record(path, why):
+    print(f"{path}: {why}\n"
+          f"  This is a record problem, not a perf regression. Regenerate with\n"
+          f"    ./build/bench/micro_engine --json={path}\n"
+          f"  If the schema was revved intentionally, update SCHEMA in\n"
+          f"  scripts/check_bench_regression.py and re-record the committed\n"
+          f"  baseline (see docs/PERFORMANCE.md).", file=sys.stderr)
+    sys.exit(EXIT_BAD_RECORD)
 
 
 def load(path):
-    with open(path) as f:
-        record = json.load(f)
-    if record.get("schema") != SCHEMA:
-        sys.exit(f"{path}: expected schema {SCHEMA!r}, got {record.get('schema')!r}")
+    try:
+        with open(path) as f:
+            record = json.load(f)
+    except json.JSONDecodeError as e:
+        bad_record(path, f"not valid JSON ({e})")
+    if not isinstance(record, dict) or "schema" not in record:
+        bad_record(path, f"no 'schema' field; expected a {SCHEMA!r} record")
+    if record["schema"] != SCHEMA:
+        bad_record(path, f"unknown schema {record['schema']!r} "
+                         f"(this script understands {SCHEMA!r})")
+    if not isinstance(record.get("benchmarks"), list):
+        bad_record(path, f"schema is {SCHEMA!r} but 'benchmarks' is missing "
+                         f"or not a list")
     rows = {row["name"]: row for row in record["benchmarks"]}
     if not rows:
-        sys.exit(f"{path}: no benchmark rows")
+        bad_record(path, "no benchmark rows")
     return rows
 
 
@@ -97,7 +123,7 @@ def main():
         failed = True
 
     if failed:
-        sys.exit(1)
+        sys.exit(EXIT_REGRESSION)
     print("OK")
 
 

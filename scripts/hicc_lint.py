@@ -1,0 +1,597 @@
+#!/usr/bin/env python3
+"""hicc_lint -- project-specific static analysis for the hicc tree.
+
+Machine-checks the two invariants everything else rests on (see
+docs/STATIC_ANALYSIS.md for the full catalog and rationale):
+
+  * bitwise determinism given a seed (determinism rules `det-*`),
+  * an allocation-free event-engine hot path (hot-path rules `hot-*`),
+
+plus the module dependency DAG from DESIGN.md (`layer-*`) and the
+probe-catalog docs lockstep (`docs-*`).
+
+Pure regex/token analysis over a comment-and-string-stripped view of
+each line -- no libclang, no compile step, runs in milliseconds on the
+whole tree.
+
+Usage:
+    hicc_lint.py [--strict] [--baseline FILE] [--write-baseline] \
+                 [--root DIR] PATH [PATH...]
+
+  PATH            files or directories (recursed for .h/.cpp)
+  --strict        CI mode: additionally fail on stale baseline entries
+                  and unused inline suppressions (keeps both honest)
+  --baseline      grandfathered findings (default:
+                  scripts/hicc_lint_baseline.txt under --root)
+  --write-baseline  rewrite the baseline file with current findings
+  --root          repo root for docs lookup + relative paths (default:
+                  parent of this script's directory)
+
+Diagnostics: `file:line:col: rule-id: message`, sorted; exit 1 when any
+non-baselined finding remains (2 on usage errors).
+
+Suppressions:
+    code();  // hicc-lint: allow(rule-id) -- justification
+    // hicc-lint: allow(rule-a,rule-b) -- applies to the NEXT line
+    // hicc-lint: allow-file(rule-id)  -- whole file
+File annotation `// hicc-lint: hotpath` opts a file into the hot-path
+rule family (required for every file under HOTPATH_REQUIRED_DIRS).
+
+Baseline entries are `file|rule|normalized-code` (line numbers omitted
+so entries survive unrelated edits); each entry forgives any number of
+matching findings.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------
+# Project configuration
+# --------------------------------------------------------------------
+
+# DESIGN.md dependency DAG: module -> modules it may #include.
+# (Every module may include itself and src/common.)
+LAYER_DAG = {
+    "common": set(),
+    "sim": set(),
+    "trace": {"sim"},
+    "net": {"sim"},
+    "mem": {"sim", "trace"},
+    "iommu": {"sim", "trace", "mem"},
+    "pcie": {"sim", "trace", "mem", "iommu"},
+    "nic": {"sim", "trace", "net", "iommu", "pcie"},
+    "transport": {"sim", "trace", "net"},
+    "host": {"sim", "trace", "net", "nic", "pcie", "iommu", "mem"},
+    "core": {"sim", "trace", "net", "nic", "pcie", "iommu", "mem", "host",
+             "transport", "fault"},
+    "fault": {"sim", "trace", "net", "nic", "pcie", "iommu", "mem", "host",
+              "transport"},
+    "sweep": {"sim", "trace", "core"},
+}
+
+# Every C++ file under these src/ subdirs must carry the hotpath marker.
+HOTPATH_REQUIRED_DIRS = ("src/sim", "src/nic", "src/pcie", "src/iommu")
+
+# Probe names registered with a string literal must appear in these docs.
+PROBE_DOCS = ("docs/OBSERVABILITY.md", "docs/FAULTS.md")
+
+SUPPRESS_RE = re.compile(r"//\s*hicc-lint:\s*allow\(([^)]*)\)")
+SUPPRESS_FILE_RE = re.compile(r"//\s*hicc-lint:\s*allow-file\(([^)]*)\)")
+HOTPATH_MARK_RE = re.compile(r"//\s*hicc-lint:\s*hotpath\b")
+
+CXX_EXTS = (".h", ".cpp", ".cc", ".hpp")
+
+
+class Finding:
+    def __init__(self, path, line, col, rule, message):
+        self.path = path          # repo-relative, forward slashes
+        self.line = line          # 1-based
+        self.col = col            # 1-based
+        self.rule = rule
+        self.message = message
+        self.norm = ""            # normalized source text for baselining
+
+    def key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    def baseline_key(self):
+        return f"{self.path}|{self.rule}|{self.norm}"
+
+    def __str__(self):
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Returns lines with comments/string contents blanked, columns kept."""
+    out = []
+    i, n = 0, len(text)
+    buf = []
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            out.append("".join(buf))
+            buf = []
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                buf.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                buf.append("  ")
+                i += 2
+                continue
+            m = re.match(r'R"([^()\s]{0,16})\(', text[i:]) if c == "R" else None
+            if m:
+                state = "raw"
+                raw_delim = ")" + m.group(1) + '"'
+                buf.append(" " * len(m.group(0)))
+                i += len(m.group(0))
+                continue
+            if c == '"':
+                state = "string"
+                buf.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                buf.append("'")
+                i += 1
+                continue
+            buf.append(c)
+            i += 1
+            continue
+        if state in ("line_comment", "block_comment"):
+            if state == "block_comment" and c == "*" and nxt == "/":
+                state = "code"
+                buf.append("  ")
+                i += 2
+                continue
+            buf.append(" ")
+            i += 1
+            continue
+        if state == "raw":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                buf.append(" " * len(raw_delim))
+                i += len(raw_delim)
+                continue
+            buf.append(" ")
+            i += 1
+            continue
+        # string / char literals: blank contents, keep the delimiters.
+        if c == "\\":
+            buf.append("  ")
+            i += 2
+            continue
+        if (state == "string" and c == '"') or (state == "char" and c == "'"):
+            state = "code"
+            buf.append(c)
+            i += 1
+            continue
+        buf.append(" ")
+        i += 1
+    if buf:
+        out.append("".join(buf))
+    return out
+
+
+class FileContext:
+    """One scanned file: raw lines, code view, suppression state."""
+
+    def __init__(self, relpath, text, sibling_text=""):
+        self.path = relpath
+        self.raw = text.splitlines()
+        self.code = strip_comments_and_strings(text)
+        while len(self.code) < len(self.raw):
+            self.code.append("")
+        # For foo.cpp, declarations usually live in foo.h: name-collection
+        # passes (vector/unordered members) also see the sibling header.
+        self.decl_code = self.code + strip_comments_and_strings(sibling_text)
+        self.hotpath = any(HOTPATH_MARK_RE.search(l) for l in self.raw)
+        self.file_allows = set()
+        # line (1-based) -> set of rule ids allowed there
+        self.line_allows = {}
+        for idx, line in enumerate(self.raw, start=1):
+            m = SUPPRESS_FILE_RE.search(line)
+            if m:
+                self.file_allows.update(
+                    r.strip() for r in m.group(1).split(",") if r.strip())
+            m = SUPPRESS_RE.search(line)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+                before = line[:m.start()]
+                if before.strip():
+                    # Trailing suppression covers its own line.
+                    target = idx
+                else:
+                    # A bare suppression comment covers the next *code*
+                    # line -- the justification may continue over further
+                    # comment-only lines.
+                    target = idx + 1
+                    while (target <= len(self.raw) and
+                           (not self.raw[target - 1].strip() or
+                            self.raw[target - 1].lstrip().startswith("//"))):
+                        target += 1
+                self.line_allows.setdefault(target, set()).update(rules)
+        self.used_allows = set()  # (line, rule) pairs that fired
+
+    def allowed(self, line, rule):
+        if rule in self.file_allows:
+            return True
+        if rule in self.line_allows.get(line, set()):
+            self.used_allows.add((line, rule))
+            return True
+        return False
+
+    def module(self):
+        parts = self.path.split("/")
+        if len(parts) >= 2 and parts[0] == "src":
+            return parts[1]
+        return None
+
+    def finding(self, line, col, rule, message):
+        f = Finding(self.path, line, col, rule, message)
+        f.norm = " ".join(self.raw[line - 1].split()) if line <= len(self.raw) else ""
+        return f
+
+
+# --------------------------------------------------------------------
+# Rules. Each returns an iterable of Findings (pre-suppression).
+# --------------------------------------------------------------------
+
+WALLCLOCK_RE = re.compile(
+    r"std::chrono::(?:steady|system|high_resolution)_clock::now"
+    r"|(?<![\w.])(?:time|clock_gettime|gettimeofday|clock)\s*\(")
+RAND_RE = re.compile(
+    r"(?<![\w.])(?:rand|srand|rand_r|drand48|random)\s*\("
+    r"|std::random_device|std::mt19937")
+SEEDED_RNG_RE = re.compile(r"\bRng\s*\(\s*(?:0[xX][0-9a-fA-F]+|\d)")
+UNORDERED_DECL_RE = re.compile(r"unordered_(?:map|set)\s*<")
+DECL_NAME_RE = re.compile(r">\s*&?\s*(\w+)\s*[;={(]")
+RANGE_FOR_RE = re.compile(r"for\s*\(.*?:\s*([^)]*)\)")
+NEW_RE = re.compile(r"(?<![\w:.])new\s+(?!\()")
+MAKE_RE = re.compile(r"std::make_(?:unique|shared)\s*<")
+STD_FUNCTION_RE = re.compile(r"std::function\s*<")
+VECTOR_DECL_RE = re.compile(r"std::vector\s*<")
+GROW_RE = re.compile(r"\b(\w+)\s*\.\s*(?:push_back|emplace_back)\s*\(")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+PROBE_LITERAL_RE = re.compile(
+    r"\b(counter|gauge|histogram)\s*\(\s*\"([^\"]+)\"")
+PROBE_DYNAMIC_RE = re.compile(
+    r"(?:->|\.)\s*(counter|gauge|histogram)\s*\(\s*(?![\")])")
+
+
+def rule_det_wallclock(ctx):
+    for i, line in enumerate(ctx.code, start=1):
+        for m in WALLCLOCK_RE.finditer(line):
+            yield ctx.finding(
+                i, m.start() + 1, "det-wallclock",
+                "wall-clock time source in simulator code; runs must be a "
+                "pure function of the seed -- use sim::Simulator::now()")
+
+
+def rule_det_rand(ctx):
+    for i, line in enumerate(ctx.code, start=1):
+        for m in RAND_RE.finditer(line):
+            yield ctx.finding(
+                i, m.start() + 1, "det-rand",
+                "non-seedable/global RNG; use hicc::Rng forked from the "
+                "experiment seed (common/rng.h)")
+
+
+def rule_det_seeded_rng(ctx):
+    for i, line in enumerate(ctx.code, start=1):
+        for m in SEEDED_RNG_RE.finditer(line):
+            yield ctx.finding(
+                i, m.start() + 1, "det-seeded-rng",
+                "Rng constructed from a literal seed; derive it from the "
+                "experiment seed (Rng::fork() / derive_seed) so streams "
+                "stay independent per DESIGN.md §7")
+
+
+def rule_det_unordered_iter(ctx):
+    names = set()
+    for line in ctx.decl_code:
+        if UNORDERED_DECL_RE.search(line):
+            m = DECL_NAME_RE.search(line)
+            if m:
+                names.add(m.group(1))
+    if not names:
+        return
+    for i, line in enumerate(ctx.code, start=1):
+        m = RANGE_FOR_RE.search(line)
+        if not m:
+            continue
+        expr = m.group(1)
+        for name in names:
+            if re.search(rf"\b{re.escape(name)}\b", expr):
+                yield ctx.finding(
+                    i, m.start() + 1, "det-unordered-iter",
+                    f"range-for over unordered container '{name}': iteration "
+                    "order is implementation-defined and must not feed "
+                    "metrics/trace/JSON -- sort first or use an ordered "
+                    "container")
+
+
+def rule_hot_marker(ctx):
+    if ctx.path.startswith(tuple(d + "/" for d in HOTPATH_REQUIRED_DIRS)):
+        if not ctx.hotpath and ctx.path.endswith(CXX_EXTS):
+            yield ctx.finding(
+                1, 1, "hot-marker-missing",
+                "files under " + "/".join(HOTPATH_REQUIRED_DIRS[:1]) +
+                ",... must carry '// hicc-lint: hotpath' so hot-path "
+                "hygiene rules apply")
+
+
+def rule_hot_std_function(ctx):
+    if not ctx.hotpath:
+        return
+    for i, line in enumerate(ctx.code, start=1):
+        for m in STD_FUNCTION_RE.finditer(line):
+            yield ctx.finding(
+                i, m.start() + 1, "hot-std-function",
+                "std::function heap-allocates large captures; use "
+                "sim::InlineFunction/InlineCallback (sim/inline_action.h)")
+
+
+def rule_hot_heap_alloc(ctx):
+    if not ctx.hotpath:
+        return
+    for i, line in enumerate(ctx.code, start=1):
+        for m in NEW_RE.finditer(line):
+            yield ctx.finding(
+                i, m.start() + 1, "hot-heap-alloc",
+                "heap allocation in a hot-path file; steady state must be "
+                "allocation-free (slab/free-list patterns, DESIGN.md §8)")
+        for m in MAKE_RE.finditer(line):
+            yield ctx.finding(
+                i, m.start() + 1, "hot-heap-alloc",
+                "make_unique/make_shared in a hot-path file; steady state "
+                "must be allocation-free (slab/free-list, DESIGN.md §8)")
+
+
+def rule_hot_vector_growth(ctx):
+    if not ctx.hotpath:
+        return
+    vec_names = set()
+    for line in ctx.decl_code:
+        if VECTOR_DECL_RE.search(line):
+            m = DECL_NAME_RE.search(line)
+            if m:
+                vec_names.add(m.group(1))
+    if not vec_names:
+        return
+    reserved = {m.group(1) for line in ctx.decl_code
+                for m in re.finditer(r"\b(\w+)\s*\.\s*reserve\s*\(", line)}
+    for i, line in enumerate(ctx.code, start=1):
+        for m in GROW_RE.finditer(line):
+            name = m.group(1)
+            if name in vec_names and name not in reserved:
+                yield ctx.finding(
+                    i, m.start() + 1, "hot-vector-growth",
+                    f"'{name}.push_back' on a std::vector with no reserve() "
+                    "in this file: growth reallocates on the hot path -- "
+                    "reserve, or suppress if growth is amortized/startup-only")
+
+
+def rule_layer_dag(ctx):
+    mod = ctx.module()
+    if mod is None or mod not in LAYER_DAG:
+        return
+    allowed = LAYER_DAG[mod] | {mod, "common"}
+    for i, line in enumerate(ctx.raw, start=1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        target = m.group(1).split("/")[0]
+        if target in LAYER_DAG and target not in allowed:
+            yield ctx.finding(
+                i, m.start(1) + 1, "layer-dag",
+                f"src/{mod} must not include src/{target} "
+                f"(allowed: {', '.join(sorted(allowed))}; DESIGN.md §9 DAG)")
+
+
+def rule_layer_trace_header(ctx):
+    mod = ctx.module()
+    if mod is None or mod == "trace":
+        return
+    for i, line in enumerate(ctx.raw, start=1):
+        m = INCLUDE_RE.match(line)
+        if m and m.group(1).startswith("trace/") and m.group(1) != "trace/trace.h":
+            yield ctx.finding(
+                i, m.start(1) + 1, "layer-trace-header",
+                f"'{m.group(1)}' is a trace-internal header; modules attach "
+                "probes through trace/trace.h only (sinks/exporters are for "
+                "harness code)")
+
+
+def rule_docs_probe(ctx, docs_text):
+    if ctx.module() is None:
+        return
+    for i, line in enumerate(ctx.raw, start=1):
+        code_line = ctx.code[i - 1]
+        for m in PROBE_LITERAL_RE.finditer(line):
+            kind, name = m.group(1), m.group(2)
+            # Only count literals that are real registrations (the code
+            # view keeps the call shape: `kind("` with blanked contents).
+            if not re.search(rf"\b{kind}\s*\(\s*\"", code_line):
+                continue
+            missing = [name] if name not in docs_text else []
+            if kind == "histogram":
+                missing += [f"{name}{suffix}"
+                            for suffix in (".p50", ".p99", ".count")
+                            if f"{name}{suffix}" not in docs_text]
+            for probe in missing:
+                yield ctx.finding(
+                    i, m.start(2) + 1, "docs-probe-undocumented",
+                    f"probe '{probe}' is not documented in "
+                    f"{' or '.join(PROBE_DOCS)}; the catalog and the code "
+                    "change together")
+        for m in PROBE_DYNAMIC_RE.finditer(code_line):
+            yield ctx.finding(
+                i, m.start(1) + 1, "docs-probe-dynamic",
+                f"probe registered via non-literal name ({m.group(1)}); "
+                "docs lockstep cannot check it -- suppress with a pointer "
+                "to where the names are cataloged")
+
+
+RULES_STANDALONE = [
+    rule_det_wallclock,
+    rule_det_rand,
+    rule_det_seeded_rng,
+    rule_det_unordered_iter,
+    rule_hot_marker,
+    rule_hot_std_function,
+    rule_hot_heap_alloc,
+    rule_hot_vector_growth,
+    rule_layer_dag,
+    rule_layer_trace_header,
+]
+
+ALL_RULES = sorted(
+    ["det-wallclock", "det-rand", "det-seeded-rng", "det-unordered-iter",
+     "hot-marker-missing", "hot-std-function", "hot-heap-alloc",
+     "hot-vector-growth", "layer-dag", "layer-trace-header",
+     "docs-probe-undocumented", "docs-probe-dynamic"])
+
+
+# --------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------
+
+def collect_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for dirpath, _, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith(CXX_EXTS):
+                        files.append(os.path.join(dirpath, name))
+        elif os.path.isfile(p):
+            files.append(p)
+        else:
+            sys.exit(f"hicc_lint: no such path: {p}")
+    return sorted(set(files))
+
+
+def load_baseline(path):
+    entries = set()
+    if not os.path.exists(path):
+        return entries
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                entries.add(line)
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], allow_abbrev=False)
+    ap.add_argument("paths", nargs="+")
+    ap.add_argument("--strict", action="store_true",
+                    help="also fail on stale baseline/suppressions (CI mode)")
+    ap.add_argument("--baseline", default=None)
+    ap.add_argument("--write-baseline", action="store_true")
+    ap.add_argument("--root", default=None)
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        print("\n".join(ALL_RULES))
+        return 0
+
+    root = os.path.abspath(
+        args.root or os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+    baseline_path = args.baseline or os.path.join(root, "scripts",
+                                                  "hicc_lint_baseline.txt")
+
+    docs_text = ""
+    for doc in PROBE_DOCS:
+        doc_path = os.path.join(root, doc)
+        if os.path.exists(doc_path):
+            with open(doc_path) as f:
+                docs_text += f.read()
+
+    findings = []
+    contexts = []
+    for path in collect_files(args.paths):
+        rel = os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")
+        sibling_text = ""
+        if path.endswith(".cpp"):
+            sibling = os.path.splitext(path)[0] + ".h"
+            if os.path.exists(sibling):
+                with open(sibling, encoding="utf-8", errors="replace") as f:
+                    sibling_text = f.read()
+        with open(path, encoding="utf-8", errors="replace") as f:
+            ctx = FileContext(rel, f.read(), sibling_text)
+        contexts.append(ctx)
+        raw = []
+        for rule_fn in RULES_STANDALONE:
+            raw.extend(rule_fn(ctx))
+        raw.extend(rule_docs_probe(ctx, docs_text))
+        findings.extend(f for f in raw if not ctx.allowed(f.line, f.rule))
+
+    findings.sort(key=Finding.key)
+
+    if args.write_baseline:
+        with open(baseline_path, "w") as f:
+            f.write("# hicc_lint grandfathered findings -- one per line:\n"
+                    "#   file|rule|normalized source text\n"
+                    "# Entries forgive matching findings; --strict fails on\n"
+                    "# stale entries. Shrink this file, never grow it.\n")
+            for key in sorted({fi.baseline_key() for fi in findings}):
+                f.write(key + "\n")
+        print(f"hicc_lint: wrote {baseline_path}")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    used_baseline = set()
+    fresh = []
+    for fi in findings:
+        if fi.baseline_key() in baseline:
+            used_baseline.add(fi.baseline_key())
+        else:
+            fresh.append(fi)
+
+    for fi in fresh:
+        print(fi)
+
+    failed = bool(fresh)
+    if failed:
+        print(f"hicc_lint: {len(fresh)} finding(s)"
+              + (f" ({len(used_baseline)} baselined)" if used_baseline else ""))
+
+    if args.strict:
+        for stale in sorted(baseline - used_baseline):
+            print(f"hicc_lint: stale baseline entry (fixed? delete it): {stale}")
+            failed = True
+        for ctx in contexts:
+            for line, rules in sorted(ctx.line_allows.items()):
+                for rule in sorted(rules):
+                    if (line, rule) not in ctx.used_allows:
+                        print(f"{ctx.path}:{line}:1: lint-unused-suppression: "
+                              f"allow({rule}) no longer matches a finding; "
+                              "remove it")
+                        failed = True
+
+    if not failed and not fresh:
+        print(f"hicc_lint: OK ({len(contexts)} files, "
+              f"{len(used_baseline)} baselined finding(s))")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

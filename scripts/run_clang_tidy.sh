@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the hicc sources against a checked-in baseline.
+#
+# Usage:
+#   scripts/run_clang_tidy.sh [BUILD_DIR] [--update-baseline]
+#
+#   BUILD_DIR           build tree with compile_commands.json (default:
+#                       build/; CMAKE_EXPORT_COMPILE_COMMANDS is always
+#                       on in the top-level CMakeLists)
+#   --update-baseline   rewrite scripts/clang_tidy_baseline.txt with the
+#                       current normalized findings
+#
+# Findings are normalized to `relative/path:check-name: message` (line
+# numbers dropped so the baseline survives unrelated edits) and diffed
+# against scripts/clang_tidy_baseline.txt: new findings fail the run,
+# stale baseline entries are reported so the file only ever shrinks.
+#
+# Exit codes: 0 clean, 1 new findings (or stale entries), 3 clang-tidy
+# unavailable (CI treats 3 as "environment problem", not a lint failure:
+# the gate is only as good as the toolchain present).
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+UPDATE=0
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) UPDATE=1 ;;
+    *) BUILD_DIR=$arg ;;
+  esac
+done
+
+TIDY=$(command -v clang-tidy || command -v clang-tidy-18 || command -v clang-tidy-17 || true)
+if [ -z "$TIDY" ]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; install clang-tidy (>=17)" >&2
+  exit 3
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json missing -- configure first:" >&2
+  echo "  cmake -B $BUILD_DIR -S .   (compile-commands export is always on)" >&2
+  exit 3
+fi
+
+BASELINE=scripts/clang_tidy_baseline.txt
+RAW=$(mktemp)
+NORM=$(mktemp)
+trap 'rm -f "$RAW" "$NORM"' EXIT
+
+# All first-party translation units; headers are covered via
+# HeaderFilterRegex in .clang-tidy.
+mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
+
+echo "run_clang_tidy: $TIDY over ${#SOURCES[@]} TUs (build dir: $BUILD_DIR)"
+"$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}" > "$RAW" 2>/dev/null
+# clang-tidy exits nonzero on findings; the baseline diff below decides.
+
+# "path:line:col: warning: message [check]" -> "path|check|message"
+sed -n 's/^\([^: ][^:]*\):[0-9][0-9]*:[0-9][0-9]*: warning: \(.*\) \[\([a-z0-9.,-]*\)\]$/\1|\3|\2/p' \
+    "$RAW" | sed "s|^$PWD/||" | sort -u > "$NORM"
+
+if [ "$UPDATE" -eq 1 ]; then
+  {
+    echo "# clang-tidy grandfathered findings (scripts/run_clang_tidy.sh)."
+    echo "# One normalized 'file|check|message' per line; line numbers are"
+    echo "# dropped so entries survive unrelated edits. Shrink, never grow."
+    cat "$NORM"
+  } > "$BASELINE"
+  echo "run_clang_tidy: wrote $(grep -vc '^#' "$BASELINE") finding(s) to $BASELINE"
+  exit 0
+fi
+
+touch "$BASELINE"
+NEW=$(grep -vxF -f <(grep -v '^#' "$BASELINE") "$NORM" || true)
+STALE=$(grep -v '^#' "$BASELINE" | grep -vxF -f "$NORM" || true)
+
+STATUS=0
+if [ -n "$NEW" ]; then
+  echo "run_clang_tidy: NEW findings (fix them or discuss; do not grow the baseline):"
+  echo "$NEW" | sed 's/^/  /'
+  # Full diagnostics with line numbers for the new findings:
+  echo "--- full clang-tidy output ---"
+  cat "$RAW"
+  STATUS=1
+fi
+if [ -n "$STALE" ]; then
+  echo "run_clang_tidy: stale baseline entries (fixed? delete them):"
+  echo "$STALE" | sed 's/^/  /'
+  STATUS=1
+fi
+if [ "$STATUS" -eq 0 ]; then
+  echo "run_clang_tidy: OK ($(wc -l < "$NORM") finding(s), all baselined)"
+fi
+exit $STATUS

@@ -1,3 +1,4 @@
+// hicc-lint: hotpath -- steady state must stay allocation-free (DESIGN.md §8).
 #include "iommu/iommu.h"
 
 #include <utility>

@@ -12,6 +12,7 @@
 // This is the mechanism chain behind Figures 3-5: more registered
 // pages -> IOTLB overflow -> misses per packet -> hundreds of ns of
 // extra per-DMA latency -> PCIe credit throughput ceiling.
+// hicc-lint: hotpath -- steady state must stay allocation-free (DESIGN.md §8).
 #pragma once
 
 #include <cstdint>

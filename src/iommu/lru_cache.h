@@ -1,6 +1,7 @@
 // Small set-associative LRU cache used for the IOTLB and the page-walk
 // caches. Capacities are tiny (tens to hundreds of entries), so each
 // set is a linear-scanned array; LRU is tracked with a global stamp.
+// hicc-lint: hotpath -- steady state must stay allocation-free (DESIGN.md §8).
 #pragma once
 
 #include <cstdint>

@@ -6,6 +6,7 @@
 // L2. Regions registered by the network stack ("loose mode": mapped
 // once at startup, never invalidated at runtime -- §3.1's setup) are
 // carved out of the IOVA space by a bump allocator.
+// hicc-lint: hotpath -- steady state must stay allocation-free (DESIGN.md §8).
 #pragma once
 
 #include <cstdint>
@@ -84,6 +85,8 @@ class IoPageTable {
     next_base_ = (next_base_ + align - 1) / align * align;
     Region r{next_base_, size, page_size};
     next_base_ += static_cast<Iova>(r.num_pages() * page_bytes(page_size).count());
+    // hicc-lint: allow(hot-vector-growth) -- region registration is
+    // setup-time (loose mode pins once); never on the datapath.
     regions_.push_back(r);
     by_base_[r.base] = static_cast<std::int32_t>(regions_.size()) - 1;
     total_mapped_pages_ += r.num_pages();

@@ -1,3 +1,4 @@
+// hicc-lint: hotpath -- steady state must stay allocation-free (DESIGN.md §8).
 #include "nic/nic.h"
 
 #include <cassert>
@@ -289,11 +290,13 @@ void Nic::send_packet(net::Packet p, int thread) {
     tx_stash_[static_cast<std::size_t>(slot)] = std::move(p);
   } else {
     slot = static_cast<std::int32_t>(tx_stash_.size());
+    // hicc-lint: allow(hot-vector-growth) -- free-listed stash: grows to
+    // the Tx high-water mark once, then recycles slots forever.
     tx_stash_.push_back(std::move(p));
   }
   pcie_.send_read(ack, fetch, [this, slot] {
     net::Packet pkt = std::move(tx_stash_[static_cast<std::size_t>(slot)]);
-    tx_free_.push_back(slot);
+    tx_free_.push_back(slot);  // hicc-lint: allow(hot-vector-growth) -- capacity == stash high-water mark
     if (cbs_.transmit) cbs_.transmit(std::move(pkt));
   });
 }

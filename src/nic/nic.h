@@ -16,6 +16,7 @@
 //   - the completion queue page (posted write),
 //   - and, for its ACK, the ACK buffer page (Tx fetch read).
 // All of these translate through the IOMMU when it is enabled.
+// hicc-lint: hotpath -- steady state must stay allocation-free (DESIGN.md §8).
 #pragma once
 
 #include <cstdint>

@@ -6,6 +6,7 @@
 // goodput with 256B max-payload TLPs is ~110 Gbps -- "only nominally
 // faster than the line rate for 100Gbps NICs" (§3.1), which is why a
 // modest per-DMA latency increase translates into lost throughput.
+// hicc-lint: hotpath -- steady state must stay allocation-free (DESIGN.md §8).
 #pragma once
 
 #include "common/units.h"

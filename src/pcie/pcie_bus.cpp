@@ -1,3 +1,4 @@
+// hicc-lint: hotpath -- steady state must stay allocation-free (DESIGN.md §8).
 #include "pcie/pcie_bus.h"
 
 #include <cassert>

@@ -24,6 +24,7 @@
 // Non-posted reads (Rx descriptor fetches, Tx/ACK payload fetches)
 // traverse the same link and ordered pipeline, then complete with a
 // memory read plus the upstream link latency.
+// hicc-lint: hotpath -- steady state must stay allocation-free (DESIGN.md §8).
 #pragma once
 
 #include <cstdint>

@@ -10,6 +10,7 @@
 // capture size, only performance does. `InlineFunction` is move-only:
 // captures (packets in flight, completion continuations) are owned
 // exactly once, which `std::function`'s copyability silently broke.
+// hicc-lint: hotpath -- steady state must stay allocation-free (DESIGN.md §8).
 #pragma once
 
 #include <cstddef>
@@ -152,6 +153,9 @@ class InlineFunction<R(Args...), Capacity, Align> {
         manage_ = &manage_inline<D>;
       }
     } else {
+      // hicc-lint: allow(hot-heap-alloc) -- documented oversize fallback:
+      // hot-path closures are engineered to fit inline (static_asserts at
+      // the call sites); this box only serves cold oversized captures.
       ::new (static_cast<void*>(&buf_)) D*(new D(std::forward<F>(f)));
       invoke_ = &invoke_boxed<D>;
       manage_ = &manage_boxed<D>;

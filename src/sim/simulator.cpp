@@ -1,3 +1,4 @@
+// hicc-lint: hotpath -- steady state must stay allocation-free (DESIGN.md §8).
 #include "sim/simulator.h"
 
 #include <algorithm>
@@ -13,6 +14,9 @@ std::int32_t Simulator::alloc_node_slow() {
   // Chunked growth keeps every existing Node at a stable address, so a
   // closure can run in place while new events are being scheduled.
   if (node_count_ == chunks_.size() * kChunkSize) {
+    // hicc-lint: allow(hot-heap-alloc, hot-vector-growth) -- slab growth:
+    // one allocation per 256 nodes until the high-water mark, then the
+    // free list recycles forever (SteadyStateIsAllocationFree).
     chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
   }
   return static_cast<std::int32_t>(node_count_++);

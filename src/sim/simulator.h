@@ -18,6 +18,7 @@
 // (a pathological self-rescheduling-at-now event). An abort is graceful
 // -- the queue is left intact, now() stays at the abort instant, and
 // callers can still harvest metrics and flush traces.
+// hicc-lint: hotpath -- steady state must stay allocation-free (DESIGN.md §8).
 #pragma once
 
 #include <algorithm>
@@ -318,6 +319,8 @@ inline EventId Simulator::schedule(TimePs t) {
     bucket_push(abs_bucket, slot);
   } else {
     n.next = kNil;
+    // hicc-lint: allow(hot-vector-growth) -- far-future heap: reaches its
+    // high-water mark during warmup, then pops balance pushes.
     heap_.push_back(HeapEntry{t, seq, slot});
     std::push_heap(heap_.begin(), heap_.end());
   }
@@ -450,6 +453,8 @@ class PeriodicTask {
  public:
   PeriodicTask() = default;
   PeriodicTask(Simulator& sim, TimePs period, Simulator::Action fn)
+      // hicc-lint: allow(hot-heap-alloc) -- one allocation per task at
+      // construction; ticks reschedule without allocating.
       : state_(std::make_unique<State>(&sim, period, std::move(fn))) {
     arm(*state_);
   }

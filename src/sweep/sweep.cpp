@@ -193,6 +193,16 @@ std::vector<SweepResult> SweepRunner::run(std::vector<ExperimentConfig> points) 
   std::vector<SweepResult> results(total);
   if (total == 0) return results;
 
+  // Concurrency contract (TSan-verified; SweepRunner.HooksAreRaceFreeUnder16Threads):
+  //   - `next` and `failed` are the only lock-free shared state and MUST
+  //     stay std::atomic -- `next` is the work-stealing ticket counter,
+  //     `failed` the abandon flag polled by every worker.
+  //   - `completed`, `failed_index`, `first_error`, and every
+  //     opts_.progress invocation are guarded by `mu`; the progress
+  //     callback is serialized and may touch non-atomic caller state.
+  //   - results[i] is written by exactly one worker (the ticket holder),
+  //     and opts_.probe only sees that worker's Experiment + result, so
+  //     neither needs synchronization.
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::mutex mu;  // guards progress callback + failure bookkeeping
@@ -207,11 +217,14 @@ std::vector<SweepResult> SweepRunner::run(std::vector<ExperimentConfig> points) 
       SweepResult& r = results[i];
       r.index = i;
       r.config = points[i];
+      // hicc-lint: allow(det-wallclock) -- harness-level wall timing for
+      // SweepResult::wall_seconds; never feeds simulation state.
       const auto t0 = std::chrono::steady_clock::now();
       try {
         Experiment exp(r.config);
         r.metrics = exp.run();
         r.wall_seconds = std::chrono::duration<double>(
+                             // hicc-lint: allow(det-wallclock) -- see t0.
                              std::chrono::steady_clock::now() - t0)
                              .count();
         if (opts_.probe) opts_.probe(exp, r);

@@ -9,7 +9,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <map>
 #include <utility>
 
 #include "net/packet.h"
@@ -61,12 +61,13 @@ class SenderHost {
   }
 
   /// Fans an out-of-band host congestion signal to every flow.
+  /// flows_ is an ordered map so this fan-out (which mutates cwnd and
+  /// may schedule sends) visits flows in a stdlib-independent order.
   void on_host_signal() {
     for (auto& [id, flow] : flows_) flow->on_host_signal();
   }
 
-  [[nodiscard]] const std::unordered_map<std::int32_t, std::unique_ptr<SenderFlow>>& flows()
-      const {
+  [[nodiscard]] const std::map<std::int32_t, std::unique_ptr<SenderFlow>>& flows() const {
     return flows_;
   }
 
@@ -76,7 +77,7 @@ class SenderHost {
   net::WireFormat wire_;
   SenderFlow::SendFn send_;
   Rng rng_;
-  std::unordered_map<std::int32_t, std::unique_ptr<SenderFlow>> flows_;
+  std::map<std::int32_t, std::unique_ptr<SenderFlow>> flows_;
 };
 
 }  // namespace hicc::transport

@@ -1,0 +1,7 @@
+// Fixture: an inline suppression that matches nothing. --strict must
+// flag it; the default mode must stay quiet.
+#pragma once
+
+namespace fixture {
+inline int clean() { return 3; }  // hicc-lint: allow(det-rand) -- pointless
+}  // namespace fixture

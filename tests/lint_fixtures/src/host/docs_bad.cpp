@@ -1,0 +1,23 @@
+// Fixture: docs-lockstep rule family, checked against the fixture
+// catalog in tests/lint_fixtures/docs/OBSERVABILITY.md.
+#include <string>
+
+struct Tracer {
+  void counter(const char*, const char*);
+  void gauge(const char*, const char*);
+  void histogram(const char*, const char*);
+};
+
+inline std::string dynamic_name() { return "nic.computed"; }
+
+inline void register_probes(Tracer* tracer) {
+  tracer->gauge("nic.documented_probe", "bytes");        // documented: clean
+  tracer->counter("nic.not_documented", "packets");      // line 15: docs-probe-undocumented
+  tracer->histogram("nic.partial_hist_us", "us");        // line 16: derived .p50/.p99/.count undocumented
+  tracer->histogram("nic.full_hist_us", "us");           // fully documented: clean
+  tracer->gauge(dynamic_name().c_str(), "bytes");        // line 18: docs-probe-dynamic
+  // hicc-lint: allow(docs-probe-undocumented) -- fixture demo
+  tracer->counter("nic.waived_probe", "packets");
+  // hicc-lint: allow(docs-probe-dynamic) -- names cataloged elsewhere
+  tracer->gauge(dynamic_name().c_str(), "bytes");
+}

@@ -1,0 +1,13 @@
+// Fixture: a finding forgiven by baseline_grandfathered.txt -- used to
+// test baseline matching and stale-entry detection.
+#pragma once
+
+#include <chrono>
+
+namespace fixture {
+inline double old_wallclock() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace fixture

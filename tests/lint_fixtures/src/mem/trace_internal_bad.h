@@ -1,0 +1,8 @@
+// Fixture: src/mem may attach probes (trace is an allowed dependency)
+// but only through the public trace/trace.h seam.
+#pragma once
+
+#include "trace/exporters.h"
+// hicc-lint: allow(layer-trace-header) -- fixture demo of a waived include
+#include "trace/sinks_internal.h"
+#include "trace/trace.h"

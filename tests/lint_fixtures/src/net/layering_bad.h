@@ -1,0 +1,9 @@
+// Fixture: layering rule family. src/net is below src/transport in the
+// DESIGN.md DAG, so the first include inverts a dependency edge.
+#pragma once
+
+#include "transport/flow.h"
+// hicc-lint: allow(layer-dag) -- fixture demo of a waived inversion
+#include "transport/swift.h"
+#include "net/packet.h"
+#include "sim/simulator.h"

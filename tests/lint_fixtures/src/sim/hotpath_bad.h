@@ -1,0 +1,43 @@
+// Fixture: hot-path rule family (file is opted in via the marker).
+// hicc-lint: hotpath
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Engine {
+  std::function<void()> callback;  // line 12: hot-std-function
+
+  // hicc-lint: allow(hot-std-function) -- cold config hook, set once
+  std::function<void()> config_hook;
+
+  std::vector<int> queue;
+  std::vector<int> pool;
+
+  void grow() {
+    queue.push_back(1);  // line 21: hot-vector-growth (no queue.reserve anywhere)
+  }
+
+  void grow_allowed() {
+    // hicc-lint: allow(hot-vector-growth) -- grows to high-water mark once
+    pool.push_back(2);
+  }
+
+  int* leak() {
+    return new int(7);  // line 30: hot-heap-alloc
+  }
+
+  std::unique_ptr<int> boxed() {
+    return std::make_unique<int>(9);  // line 34: hot-heap-alloc
+  }
+
+  std::unique_ptr<int> boxed_allowed() {
+    // hicc-lint: allow(hot-heap-alloc) -- construction-time only
+    return std::make_unique<int>(9);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: marker requirement waived file-wide (e.g. a pure-constants
+// header that never executes on the datapath).
+// hicc-lint: allow-file(hot-marker-missing)
+#pragma once
+
+namespace fixture {
+inline constexpr int kAnswer = 42;
+}  // namespace fixture

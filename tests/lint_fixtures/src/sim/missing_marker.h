@@ -1,0 +1,6 @@
+// Fixture: a file under src/sim without the hotpath marker.
+#pragma once
+
+namespace fixture {
+inline int plain() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Tests for scripts/hicc_lint.py (run by ctest as `lint_test`).
+
+Covers: golden diagnostics over the fixture tree (positives AND the
+suppressed variants, which must be absent), inline-suppression and
+baseline semantics, --strict staleness checks, and the real tree
+staying lint-clean in strict mode.
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(ROOT, "scripts", "hicc_lint.py")
+FIXTURES = os.path.join(ROOT, "tests", "lint_fixtures")
+
+
+def run_lint(*args):
+    proc = subprocess.run(
+        [sys.executable, LINT, *args],
+        capture_output=True, text=True, cwd=ROOT)
+    return proc.returncode, proc.stdout
+
+
+class FixtureGoldens(unittest.TestCase):
+    def test_fixture_tree_matches_golden_diagnostics(self):
+        rc, out = run_lint("--root", FIXTURES, os.path.join(FIXTURES, "src"))
+        self.assertEqual(rc, 1, out)
+        with open(os.path.join(FIXTURES, "expected.txt")) as f:
+            expected = f.read()
+        self.assertEqual(out, expected)
+
+    def test_every_rule_family_has_positive_and_suppressed_fixture(self):
+        with open(os.path.join(FIXTURES, "expected.txt")) as f:
+            golden = f.read()
+        # One representative rule per family fires in the golden...
+        for rule in ("det-wallclock", "det-rand", "det-seeded-rng",
+                     "det-unordered-iter", "hot-std-function",
+                     "hot-heap-alloc", "hot-vector-growth",
+                     "hot-marker-missing", "layer-dag", "layer-trace-header",
+                     "docs-probe-undocumented", "docs-probe-dynamic"):
+            self.assertIn(rule + ":", golden, f"{rule} has no positive fixture")
+        # ...and the suppressed twins stay out of it.
+        for absent in ("wallclock_allowed", "config_hook", "pool.push_back",
+                       "marker_suppressed", "nic.waived_probe",
+                       "trace/sinks_internal.h", "transport/swift.h"):
+            self.assertNotIn(absent, golden,
+                             f"suppressed fixture '{absent}' leaked a finding")
+
+    def test_diagnostics_carry_file_line_col_and_rule(self):
+        rc, out = run_lint("--root", FIXTURES,
+                           os.path.join(FIXTURES, "src", "net",
+                                        "determinism_bad.h"))
+        self.assertEqual(rc, 1)
+        self.assertIn(
+            "src/net/determinism_bad.h:14:12: det-wallclock:", out)
+        self.assertIn(
+            "src/net/determinism_bad.h:25:10: det-rand:", out)
+
+
+class BaselineBehavior(unittest.TestCase):
+    GRANDFATHERED = os.path.join(FIXTURES, "src", "mem", "grandfathered.h")
+    BASELINE = os.path.join(FIXTURES, "baseline_grandfathered.txt")
+
+    def test_baselined_finding_is_forgiven(self):
+        rc, out = run_lint("--root", FIXTURES, "--baseline", self.BASELINE,
+                           self.GRANDFATHERED)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("1 baselined finding(s)", out)
+
+    def test_without_baseline_the_finding_fires(self):
+        rc, out = run_lint("--root", FIXTURES, self.GRANDFATHERED)
+        self.assertEqual(rc, 1)
+        self.assertIn("det-wallclock", out)
+
+    def test_strict_flags_stale_baseline_entries(self):
+        rc, out = run_lint("--strict", "--root", FIXTURES,
+                           "--baseline", self.BASELINE, self.GRANDFATHERED)
+        self.assertEqual(rc, 1)
+        self.assertIn("stale baseline entry", out)
+        self.assertIn("det-rand", out)  # the deliberately-stale line
+
+
+class StrictSuppressionHygiene(unittest.TestCase):
+    UNUSED = os.path.join(FIXTURES, "extra", "unused_allow.h")
+
+    def test_default_mode_ignores_unused_suppressions(self):
+        rc, out = run_lint("--root", FIXTURES, self.UNUSED)
+        self.assertEqual(rc, 0, out)
+
+    def test_strict_flags_unused_suppressions(self):
+        rc, out = run_lint("--strict", "--root", FIXTURES, self.UNUSED)
+        self.assertEqual(rc, 1)
+        self.assertIn("lint-unused-suppression", out)
+        self.assertIn("allow(det-rand)", out)
+
+
+class RealTree(unittest.TestCase):
+    def test_src_is_lint_clean_in_strict_mode(self):
+        rc, out = run_lint("--strict", os.path.join(ROOT, "src"))
+        self.assertEqual(rc, 0, "src/ must stay hicc_lint-clean:\n" + out)
+
+    def test_list_rules_names_every_family(self):
+        rc, out = run_lint("--list-rules", ".")
+        self.assertEqual(rc, 0)
+        rules = set(out.split())
+        families = {r.split("-")[0] for r in rules}
+        self.assertEqual(families, {"det", "hot", "layer", "docs"})
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

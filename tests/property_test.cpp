@@ -99,9 +99,9 @@ INSTANTIATE_TEST_SUITE_P(Geometries, LruGeometry,
                          ::testing::Values(std::tuple{1, 4}, std::tuple{1, 64},
                                            std::tuple{1, 128}, std::tuple{4, 4},
                                            std::tuple{8, 16}, std::tuple{16, 8}),
-                         [](const auto& info) {
-                           return "s" + std::to_string(std::get<0>(info.param)) + "w" +
-                                  std::to_string(std::get<1>(info.param));
+                         [](const auto& param_info) {
+                           return "s" + std::to_string(std::get<0>(param_info.param)) + "w" +
+                                  std::to_string(std::get<1>(param_info.param));
                          });
 
 // ===================================================================
@@ -202,8 +202,8 @@ TEST_P(IommuWorkingSet, MissRateMonotoneInWorkingSet) {
 
 INSTANTIATE_TEST_SUITE_P(PageSizes, IommuWorkingSet,
                          ::testing::Values(iommu::PageSize::k4K, iommu::PageSize::k2M),
-                         [](const auto& info) {
-                           return info.param == iommu::PageSize::k4K ? "small4K" : "huge2M";
+                         [](const auto& param_info) {
+                           return param_info.param == iommu::PageSize::k4K ? "small4K" : "huge2M";
                          });
 
 // ===================================================================
@@ -321,8 +321,8 @@ TEST_P(HistogramFuzz, PercentilesWithinBucketError) {
   }
   std::sort(values.begin(), values.end());
   for (const double p : {10.0, 50.0, 90.0, 99.0}) {
-    const double exact = values[static_cast<std::size_t>(p / 100.0 *
-                                                         (values.size() - 1))];
+    const double exact = values[static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(values.size() - 1))];
     EXPECT_NEAR(h.percentile(p), exact, exact * 0.06 + 1.0) << "p" << p;
   }
 }

@@ -85,9 +85,9 @@ INSTANTIATE_TEST_SUITE_P(
     LossRates, LossFuzz,
     ::testing::Combine(::testing::Values(0.0, 0.05, 0.15, 0.30),
                        ::testing::Values(1, 2)),
-    [](const auto& info) {
-      return "loss" + std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) +
-             "_seed" + std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return "loss" + std::to_string(static_cast<int>(std::get<0>(param_info.param) * 100)) +
+             "_seed" + std::to_string(std::get<1>(param_info.param));
     });
 
 /// ACK reordering must not confuse the selective-ack bookkeeping.

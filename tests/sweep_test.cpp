@@ -159,6 +159,40 @@ TEST(SweepRunner, ProgressReportsEveryPointExactlyOnce) {
   EXPECT_EQ(indices.size(), points.size());
 }
 
+// Regression guard for the hook synchronization contract (TSan-verified;
+// see the concurrency note in sweep.cpp): the progress callback is
+// serialized under the runner's mutex, and the probe callback touches
+// only its own point's SweepResult. Both hooks here mutate *non-atomic*
+// shared state in ways that are only safe if those guarantees hold, and
+// 16 workers racing over 48 points give TSan (HICC_SANITIZE=thread) a
+// real interleaving to chew on. Without TSan it still catches lost
+// updates and ordering violations.
+TEST(SweepRunner, HooksAreRaceFreeUnder16Threads) {
+  auto points = test_points(48);
+  for (auto& p : points) {
+    p.warmup = TimePs::from_us(50);
+    p.measure = TimePs::from_us(150);
+  }
+  SweepOptions opts;
+  opts.jobs = 16;
+  std::size_t progress_calls = 0;  // unsynchronized on purpose
+  std::size_t last_completed = 0;
+  opts.progress = [&](const SweepProgress& p) {
+    ++progress_calls;
+    EXPECT_EQ(p.completed, last_completed + 1);  // serialized => no gaps
+    last_completed = p.completed;
+  };
+  opts.probe = [](Experiment&, SweepResult& r) {
+    r.extra["probe_index"] = static_cast<double>(r.index);
+  };
+  const auto results = SweepRunner(opts).run(points);
+  EXPECT_EQ(progress_calls, points.size());
+  EXPECT_EQ(last_completed, points.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].extra.at("probe_index"), static_cast<double>(i));
+  }
+}
+
 TEST(SweepRunner, ProbeHarvestsExtraScalars) {
   const auto points = test_points(4);
   SweepOptions opts;
