@@ -11,7 +11,13 @@
 //   $ ./hicc_cli --threads=12 --antagonists=15 --iommu=0 --timeline-us=2000
 //   $ ./hicc_cli --threads=14 --cc=host-signal --victims=8
 //   $ ./hicc_cli --threads=14 --runs=16 --jobs=4 --json=sweep_results.json
+//   $ ./hicc_cli --topology=2x2x8 --receivers=2 --json=cluster.json
 //   $ ./hicc_cli --help
+//
+// With --topology=LxSxH the run is a ClusterExperiment on a Clos
+// leaf/spine fabric (docs/TOPOLOGY.md) instead of the single-host
+// Experiment: the other flags describe each receiver host, and the
+// JSON record carries one hicc.sweep.v1 point per receiver.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "core/cluster.h"
 #include "core/experiment.h"
 #include "core/validate.h"
 #include "fault/script.h"
@@ -74,12 +81,30 @@ void usage() {
       "protocol:\n"
       "  --cc=swift|tcp|host-signal   (default swift)\n"
       "  --host-target-us=N           Swift host target (default 100)\n"
+      "topology (docs/TOPOLOGY.md):\n"
+      "  --topology=LxSxH   run a Clos cluster instead of the single-host\n"
+      "                     experiment: L leaves x S spines x H total hosts\n"
+      "                     (H divides evenly across the leaves), e.g. 2x2x8.\n"
+      "                     --senders is ignored; sender machines are the\n"
+      "                     hosts that are not receivers. With --json, the\n"
+      "                     record carries one hicc.sweep.v1 point per\n"
+      "                     receiver host\n"
+      "  --receivers=N      hosts 0..N-1 run full receiver stacks; the rest\n"
+      "                     serve reads to every receiver (default 1)\n"
+      "  --ecmp-seed=N      stateless ECMP hash seed (default 1)\n"
+      "  --host-gbps=X      host-to-leaf link rate (default 100)\n"
+      "  --fabric-gbps=X    leaf-to-spine link rate (default 100)\n"
+      "  --full-hosts=0|1   build quiescent full host stacks on sender\n"
+      "                     machines (default 1)\n"
       "faults (docs/FAULTS.md):\n"
       "  --faults=SPEC      schedule mid-run disturbances. SPEC is a ';'-\n"
       "                     separated list of kind@time[+dur][/period][,k=v...]\n"
       "                     entries, e.g.\n"
       "                       --faults='mem.antagonist@5ms+2ms,cores=15'\n"
       "                       --faults='net.loss@1ms+500us/2ms,prob=0.05'\n"
+      "                     in --topology runs, net.* events accept\n"
+      "                     leaf=+spine= (a leaf-spine link) or host= (an\n"
+      "                     edge uplink) targeting\n"
       "run control:\n"
       "  --warmup-ms=N --measure-ms=N --seed=N\n"
       "  --max-events=N     watchdog: abort the run after N simulator\n"
@@ -140,6 +165,150 @@ void print_metrics(const hicc::Metrics& m) {
     std::printf("run status         %s (%s)\n", hicc::to_string(m.run_status),
                 m.run_status_detail.c_str());
   }
+}
+
+/// True when `key` is a per-host probe harvest ("trace.host<h>.name"),
+/// in which case *host receives h. Global probes ("trace.nic.x") and
+/// non-trace extras return false.
+bool host_scoped_probe(const std::string& key, int* host) {
+  constexpr char kPrefix[] = "trace.host";
+  if (key.rfind(kPrefix, 0) != 0) return false;
+  std::size_t i = sizeof(kPrefix) - 1;
+  const std::size_t digits_start = i;
+  int h = 0;
+  while (i < key.size() && key[i] >= '0' && key[i] <= '9') {
+    h = h * 10 + (key[i] - '0');
+    ++i;
+  }
+  if (i == digits_start || i >= key.size() || key[i] != '.') return false;
+  *host = h;
+  return true;
+}
+
+int run_topology(const Flags& flags, hicc::ExperimentConfig host_cfg,
+                 const std::string& trace_path) {
+  const std::string spec = flags.str("topology", "");
+  int leaves = 0, spines = 0, hosts = 0;
+  char excess = '\0';
+  if (std::sscanf(spec.c_str(), "%dx%dx%d%c", &leaves, &spines, &hosts, &excess) != 3) {
+    std::fprintf(stderr, "bad --topology=%s (want LEAVESxSPINESxHOSTS, e.g. 2x2x8)\n",
+                 spec.c_str());
+    return 1;
+  }
+  if (leaves <= 0 || hosts <= 0 || hosts % leaves != 0) {
+    std::fprintf(stderr,
+                 "bad --topology=%s: total hosts (%d) must divide evenly across "
+                 "%d leaves\n",
+                 spec.c_str(), hosts, leaves);
+    return 1;
+  }
+  if (flags.number("runs", 0) > 0 || flags.number("timeline-us", 0) > 0) {
+    std::fprintf(stderr, "--topology is a single cluster run; drop --runs/--timeline-us\n");
+    return 1;
+  }
+
+  hicc::ClusterConfig cfg;
+  cfg.host = std::move(host_cfg);
+  cfg.faults = std::move(cfg.host.faults);
+  cfg.host.faults = hicc::fault::FaultScript{};
+  cfg.topology.leaves = leaves;
+  cfg.topology.spines = spines;
+  cfg.topology.hosts_per_leaf = hosts / leaves;
+  cfg.topology.ecmp_seed = static_cast<std::uint64_t>(flags.number("ecmp-seed", 1));
+  cfg.topology.host_link_rate = hicc::BitRate::gbps(flags.number("host-gbps", 100));
+  cfg.topology.fabric_link_rate = hicc::BitRate::gbps(flags.number("fabric-gbps", 100));
+  cfg.receivers = static_cast<int>(flags.number("receivers", 1));
+  cfg.full_sender_hosts = flags.flag("full-hosts", true);
+
+  if (const auto violations = hicc::validate(cfg); !violations.empty()) {
+    std::fprintf(stderr, "invalid cluster configuration (%zu problem(s)):\n",
+                 violations.size());
+    for (const auto& v : violations) {
+      std::fprintf(stderr, "  %s: %s\n", v.field.c_str(), v.message.c_str());
+    }
+    return 1;
+  }
+
+  hicc::ClusterExperiment exp(std::move(cfg));
+  hicc::trace::FileTraceSink trace_file;
+  if (!trace_path.empty() && !trace_file.open(*exp.tracer(), trace_path)) {
+    std::fprintf(stderr, "failed to open trace file %s\n", trace_path.c_str());
+    return 1;
+  }
+
+  const hicc::ClusterMetrics cm = exp.run();
+
+  // End-of-run probe values, harvested while the tracer is live; each
+  // receiver's JSON point gets the global probes plus its own host<r>.*
+  // slice.
+  hicc::sweep::SweepResult probes;
+  hicc::sweep::harvest_trace_probes(exp.tracer(), probes);
+
+  hicc::Table t({"host", "app_gbps", "drop_pct", "miss_per_pkt", "p99_us", "mem_gbs",
+                 "port_drops"});
+  for (int r = 0; r < exp.num_receivers(); ++r) {
+    const hicc::Metrics& m = cm.per_receiver[static_cast<std::size_t>(r)];
+    t.add_row({static_cast<std::int64_t>(r), m.app_throughput_gbps, m.drop_rate * 100.0,
+               m.iotlb_misses_per_packet, m.host_delay_p99_us,
+               m.memory.total_gbytes_per_sec, exp.fabric().host_port_drops(r)});
+  }
+  t.print(std::cout, 3);
+  std::printf("cluster             %dL x %dS x %dH, %d receiver(s), %d sender machine(s)\n",
+              exp.config().topology.leaves, exp.config().topology.spines,
+              exp.config().topology.num_hosts(), exp.num_receivers(),
+              exp.num_sender_hosts());
+  std::printf("total throughput   %8.2f Gbps (max p99 %.1f us)\n",
+              cm.total_app_throughput_gbps, cm.max_host_delay_p99_us);
+  std::printf("packets            %lld sent, %lld host drops, %lld fabric drops\n",
+              static_cast<long long>(cm.total_data_packets_sent),
+              static_cast<long long>(cm.total_nic_buffer_drops),
+              static_cast<long long>(cm.total_fabric_drops));
+  std::printf("simulated          %.1f ms (%llu events)\n", cm.simulated_seconds * 1e3,
+              static_cast<unsigned long long>(cm.events_executed));
+  if (cm.run_status != hicc::RunStatus::kOk) {
+    std::printf("run status         %s\n", hicc::to_string(cm.run_status));
+  }
+
+  int rc = 0;
+  if (!trace_path.empty()) {
+    if (trace_file.close(*exp.tracer())) {
+      std::printf("(trace written to %s)\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace file %s\n", trace_path.c_str());
+      rc = 1;
+    }
+  }
+
+  const std::string json_path = flags.str("json", "");
+  if (!json_path.empty()) {
+    // One hicc.sweep.v1 point per receiver host: the effective per-host
+    // config, that receiver's Metrics, and extras carrying the host
+    // index, its fabric-port state, and its slice of the trace probes.
+    std::vector<hicc::sweep::SweepResult> points(
+        static_cast<std::size_t>(exp.num_receivers()));
+    for (int r = 0; r < exp.num_receivers(); ++r) {
+      hicc::sweep::SweepResult& p = points[static_cast<std::size_t>(r)];
+      p.index = static_cast<std::size_t>(r);
+      p.config = exp.config().host;
+      p.metrics = cm.per_receiver[static_cast<std::size_t>(r)];
+      p.extra["host"] = r;
+      p.extra["cluster.port_drops"] =
+          static_cast<double>(exp.fabric().host_port_drops(r));
+      p.extra["cluster.port_queue_bytes"] =
+          static_cast<double>(exp.fabric().host_queue(r).count());
+      for (const auto& [key, value] : probes.extra) {
+        int h = -1;
+        if (!host_scoped_probe(key, &h) || h == r) p.extra[key] = value;
+      }
+    }
+    if (hicc::sweep::save_json(points, json_path)) {
+      std::printf("(cluster record written to %s)\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace
@@ -215,6 +384,13 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "unknown --cc=%s (swift|tcp|host-signal)\n", cc.c_str());
     return 1;
+  }
+
+  // A --topology run validates and executes as a ClusterConfig; the
+  // flag-built cfg becomes its per-host template (with faults promoted
+  // to cluster scope, where topology targeting applies).
+  if (!flags.str("topology", "").empty()) {
+    return run_topology(flags, std::move(cfg), trace_path);
   }
 
   // Reject a nonsensical configuration with every problem at once,

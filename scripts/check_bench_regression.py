@@ -5,8 +5,13 @@ Usage:
     check_bench_regression.py BASELINE.json CURRENT.json \
         [--benchmark BM_SimulatorScheduleRun] [--threshold 0.25]
 
-Both files are `hicc.bench.v1` records written by
-`bench/micro_engine --json=PATH` (see docs/PERFORMANCE.md).
+Both files are bench records written by a micro-bench binary's
+`--json=PATH`: `hicc.bench.v1` from bench/micro_engine (baseline
+bench/BENCH_ENGINE.json) or `hicc.bench.topology.v1` from
+bench/micro_topology (baseline bench/BENCH_TOPOLOGY.json); see
+docs/PERFORMANCE.md. The two files must carry the same schema --
+comparing an engine run against a topology baseline is a tooling
+mistake, not a regression.
 
 Raw ns/op is not comparable across machines -- CI runners and the
 machine that produced the committed baseline differ in clock speed,
@@ -35,39 +40,48 @@ import json
 import sys
 
 REFERENCE = "BM_ReferenceSpin"
-SCHEMA = "hicc.bench.v1"
+# Schema tag -> the binary that writes it. Both record shapes are
+# identical; the tag only says which bench family produced the rows.
+SCHEMAS = {
+    "hicc.bench.v1": "micro_engine",
+    "hicc.bench.topology.v1": "micro_topology",
+}
 EXIT_REGRESSION = 1
 EXIT_BAD_RECORD = 2
 
 
-def bad_record(path, why):
+def bad_record(path, why, binary="micro_engine"):
     print(f"{path}: {why}\n"
           f"  This is a record problem, not a perf regression. Regenerate with\n"
-          f"    ./build/bench/micro_engine --json={path}\n"
-          f"  If the schema was revved intentionally, update SCHEMA in\n"
+          f"    ./build/bench/{binary} --json={path}\n"
+          f"  If the schema was revved intentionally, update SCHEMAS in\n"
           f"  scripts/check_bench_regression.py and re-record the committed\n"
           f"  baseline (see docs/PERFORMANCE.md).", file=sys.stderr)
     sys.exit(EXIT_BAD_RECORD)
 
 
 def load(path):
+    """Returns (schema, rows-by-name) for one bench record."""
     try:
         with open(path) as f:
             record = json.load(f)
     except json.JSONDecodeError as e:
         bad_record(path, f"not valid JSON ({e})")
     if not isinstance(record, dict) or "schema" not in record:
-        bad_record(path, f"no 'schema' field; expected a {SCHEMA!r} record")
-    if record["schema"] != SCHEMA:
-        bad_record(path, f"unknown schema {record['schema']!r} "
-                         f"(this script understands {SCHEMA!r})")
+        bad_record(path, f"no 'schema' field; expected one of "
+                         f"{sorted(SCHEMAS)}")
+    schema = record["schema"]
+    if schema not in SCHEMAS:
+        bad_record(path, f"unknown schema {schema!r} "
+                         f"(this script understands {sorted(SCHEMAS)})")
+    binary = SCHEMAS[schema]
     if not isinstance(record.get("benchmarks"), list):
-        bad_record(path, f"schema is {SCHEMA!r} but 'benchmarks' is missing "
-                         f"or not a list")
+        bad_record(path, f"schema is {schema!r} but 'benchmarks' is missing "
+                         f"or not a list", binary)
     rows = {row["name"]: row for row in record["benchmarks"]}
     if not rows:
-        bad_record(path, "no benchmark rows")
-    return rows
+        bad_record(path, "no benchmark rows", binary)
+    return schema, rows
 
 
 def pick(rows, name, path):
@@ -88,8 +102,12 @@ def main():
                     help="allowed fractional regression in normalized ns/op")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    base_schema, base = load(args.baseline)
+    cur_schema, cur = load(args.current)
+    if base_schema != cur_schema:
+        bad_record(args.current,
+                   f"schema {cur_schema!r} does not match the baseline's "
+                   f"{base_schema!r} ({args.baseline})", SCHEMAS[cur_schema])
 
     base_ref = pick(base, REFERENCE, args.baseline)
     cur_ref = pick(cur, REFERENCE, args.current)

@@ -268,8 +268,15 @@ GROW_RE = re.compile(r"\b(\w+)\s*\.\s*(?:push_back|emplace_back)\s*\(")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 PROBE_LITERAL_RE = re.compile(
     r"\b(counter|gauge|histogram)\s*\(\s*\"([^\"]+)\"")
+# trace::host_probe(h, "name") expands to "host<h>.name"; the catalog
+# documents the family once, under the literal prefix "host<h>.".
+PROBE_HOST_RE = re.compile(
+    r"\b(counter|gauge|histogram)\s*\(\s*(?:trace\s*::\s*)?host_probe\s*\(")
+PROBE_HOST_NAME_RE = re.compile(
+    r"host_probe\s*\(\s*[^,()]*,\s*\"([^\"]+)\"")
 PROBE_DYNAMIC_RE = re.compile(
-    r"(?:->|\.)\s*(counter|gauge|histogram)\s*\(\s*(?![\")])")
+    r"(?:->|\.)\s*(counter|gauge|histogram)\s*\(\s*"
+    r"(?![\")])(?!(?:trace\s*::\s*)?host_probe\s*\()")
 
 
 def rule_det_wallclock(ctx):
@@ -438,6 +445,32 @@ def rule_docs_probe(ctx, docs_text):
                     f"probe '{probe}' is not documented in "
                     f"{' or '.join(PROBE_DOCS)}; the catalog and the code "
                     "change together")
+        for m in PROBE_HOST_RE.finditer(code_line):
+            kind = m.group(1)
+            name_m = PROBE_HOST_NAME_RE.search(line[m.start():])
+            if not name_m:
+                # host_probe with a computed inner name: as opaque to the
+                # docs lockstep as any other dynamic registration.
+                yield ctx.finding(
+                    i, m.start(1) + 1, "docs-probe-dynamic",
+                    f"probe registered via non-literal name ({kind}); "
+                    "docs lockstep cannot check it -- suppress with a "
+                    "pointer to where the names are cataloged")
+                continue
+            name = name_m.group(1)
+            documented = f"host<h>.{name}"
+            missing = [documented] if documented not in docs_text else []
+            if kind == "histogram":
+                missing += [f"{documented}{suffix}"
+                            for suffix in (".p50", ".p99", ".count")
+                            if f"{documented}{suffix}" not in docs_text]
+            for probe in missing:
+                yield ctx.finding(
+                    i, m.start() + name_m.start(1) + 1,
+                    "docs-probe-undocumented",
+                    f"host-indexed probe '{probe}' is not documented in "
+                    f"{' or '.join(PROBE_DOCS)}; document the family once "
+                    "under the 'host<h>.' prefix")
         for m in PROBE_DYNAMIC_RE.finditer(code_line):
             yield ctx.finding(
                 i, m.start(1) + 1, "docs-probe-dynamic",

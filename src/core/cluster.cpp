@@ -1,0 +1,210 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hicc {
+
+ClusterConfig degenerate_cluster(const ExperimentConfig& cfg) {
+  ClusterConfig c;
+  c.host = cfg;
+  c.topology.leaves = 1;
+  c.topology.spines = 1;
+  c.topology.hosts_per_leaf = cfg.num_senders + 1;
+  c.topology.host_link_rate = cfg.fabric.link_rate;
+  c.topology.fabric_link_rate = cfg.fabric.link_rate;
+  // Both degenerate hops are edge links; the legacy fabric's second
+  // hop uses access_propagation, so bitwise parity holds when the two
+  // propagations are equal (they are, by default: 2us each).
+  c.topology.edge_propagation = cfg.fabric.edge_propagation;
+  c.topology.fabric_propagation = cfg.fabric.access_propagation;
+  c.topology.edge_buffer = cfg.fabric.switch_buffer;
+  c.topology.fabric_buffer = cfg.fabric.switch_buffer;
+  c.receivers = 1;
+  c.full_sender_hosts = false;
+  return c;
+}
+
+ClusterExperiment::ClusterExperiment(ClusterConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.host.seed) {
+  receivers_ = cfg_.receivers;
+  senders_per_receiver_ = cfg_.topology.num_hosts() - receivers_;
+  cfg_.host.num_senders = senders_per_receiver_;
+  cfg_.host.iommu.enabled = cfg_.host.iommu_enabled;
+  cfg_.host.faults = fault::FaultScript{};  // cluster script is cfg_.faults
+
+  if (cfg_.host.trace.enabled) tracer_ = std::make_unique<trace::Tracer>(sim_, cfg_.host.trace);
+
+  fabric_ = std::make_unique<net::ClosFabric>(
+      sim_, cfg_.topology,
+      [this](int h, net::Packet p) { dispatch(h, std::move(p)); });
+
+  // Receiver stacks first, then (optional) sender stacks, then the
+  // serving transports -- a fixed fork order so equal seeds reproduce
+  // bitwise, and so the K=1 transport-only case forks exactly like the
+  // legacy Experiment (mem, remote mem, receiver, senders 0..M-1).
+  const HostFactory factory(sim_);
+  groups_.reserve(static_cast<std::size_t>(receivers_));
+  for (int r = 0; r < receivers_; ++r) {
+    const trace::Tracer::ScopedPrefix prefix(tracer_.get(), trace::host_prefix(r));
+    ReceiverGroup group;
+    group.host = factory.make_full_host(cfg_.host, senders_per_receiver_, rng_, tracer_.get());
+    groups_.push_back(std::move(group));
+  }
+  if (cfg_.full_sender_hosts) {
+    sender_stacks_.reserve(static_cast<std::size_t>(senders_per_receiver_));
+    for (int s = 0; s < senders_per_receiver_; ++s) {
+      const int g = receivers_ + s;
+      const trace::Tracer::ScopedPrefix prefix(tracer_.get(), trace::host_prefix(g));
+      sender_stacks_.push_back(
+          factory.make_full_host(cfg_.host, senders_per_receiver_, rng_, tracer_.get()));
+    }
+  }
+
+  sender_ports_.resize(static_cast<std::size_t>(senders_per_receiver_));
+  for (int r = 0; r < receivers_; ++r) {
+    ReceiverGroup& group = groups_[static_cast<std::size_t>(r)];
+    host::ReceiverHost& recv = *group.host.receiver;
+    for (int s = 0; s < senders_per_receiver_; ++s) {
+      const int g = receivers_ + s;
+      const trace::Tracer::ScopedPrefix prefix(tracer_.get(), trace::host_prefix(g));
+      sender_ports_[static_cast<std::size_t>(s)].push_back(
+          std::make_unique<transport::SenderHost>(
+              sim_, s, cfg_.host.wire,
+              [this, g, r](net::Packet p) {
+                p.dst = r;
+                return fabric_->send_from_host(g, std::move(p));
+              },
+              rng_.fork()));
+      group.senders.push_back(sender_ports_[static_cast<std::size_t>(s)].back().get());
+    }
+    for (std::int32_t flow = 0; flow < recv.num_flows(); ++flow) {
+      group.senders[static_cast<std::size_t>(recv.sender_of_flow(flow))]->add_flow(
+          flow, make_congestion_control(sim_, cfg_.host, tracer_.get()));
+    }
+    recv.set_transmit([this, r](net::Packet p) {
+      // `p.sender` is the receiver-local sender index the packet is
+      // addressed to; route to that machine and stamp the receiver's
+      // index in its place so the sender machine can dispatch to its
+      // per-receiver transport (SenderHost never reads p.sender).
+      p.dst = receivers_ + p.sender;
+      p.sender = r;
+      return fabric_->send_from_host(r, std::move(p));
+    });
+  }
+
+  if (tracer_ != nullptr) {
+    for (int r = 0; r < receivers_; ++r) {
+      tracer_->counter(trace::host_probe(r, "cluster.port_drops"), "packets",
+                       [this, r] { return static_cast<double>(fabric_->host_port_drops(r)); });
+      tracer_->gauge(trace::host_probe(r, "cluster.port_queue_bytes"), "bytes",
+                     [this, r] { return static_cast<double>(fabric_->host_queue(r).count()); });
+    }
+    tracer_->gauge("transport.cwnd_avg", "packets", [this] {
+      double sum = 0.0;
+      std::int64_t flows = 0;
+      for (const auto& per_receiver : sender_ports_) {
+        for (const auto& sender : per_receiver) {
+          for (const auto& [id, flow] : sender->flows()) {
+            sum += flow->cwnd();
+            ++flows;
+          }
+        }
+      }
+      return flows > 0 ? sum / static_cast<double>(flows) : 0.0;
+    });
+  }
+
+  sim_.set_watchdog(cfg_.host.watchdog);
+
+  // Last on purpose, exactly like Experiment: the engine forks the
+  // cluster RNG after every component has taken its stream.
+  if (!cfg_.faults.empty()) {
+    fault::FaultTargets targets;
+    targets.clos = fabric_.get();
+    targets.receiver = groups_[0].host.receiver.get();
+    targets.antagonist = groups_[0].host.antagonist.get();
+    fault_engine_ = std::make_unique<fault::FaultEngine>(sim_, cfg_.faults, targets,
+                                                         rng_.fork(), tracer_.get());
+  }
+}
+
+ClusterExperiment::~ClusterExperiment() = default;
+
+void ClusterExperiment::dispatch(int host, net::Packet p) {
+  if (host < receivers_) {
+    groups_[static_cast<std::size_t>(host)].host.receiver->on_arrival(std::move(p));
+    return;
+  }
+  // Reverse-path traffic (ACK / read request / host signal): p.sender
+  // carries the originating receiver's index.
+  sender_ports_[static_cast<std::size_t>(host - receivers_)][static_cast<std::size_t>(p.sender)]
+      ->on_packet(p);
+}
+
+HostHarvestSources ClusterExperiment::harvest_sources(int r) const {
+  const ReceiverGroup& group = groups_[static_cast<std::size_t>(r)];
+  HostHarvestSources src;
+  src.sim = &sim_;
+  src.receiver = group.host.receiver.get();
+  src.mem = group.host.mem.get();
+  src.remote_mem = group.host.remote_mem.get();
+  src.senders = group.senders;
+  src.fault_engine = fault_engine_.get();
+  src.wire = cfg_.host.wire;
+  src.link_rate = cfg_.topology.host_link_rate;
+  return src;
+}
+
+void ClusterExperiment::start() {
+  if (started_) return;
+  started_ = true;
+  if (tracer_ != nullptr) tracer_->start();
+  for (auto& group : groups_) group.host.receiver->start();
+}
+
+void ClusterExperiment::begin_window() {
+  window_start_time_ = sim_.now();
+  fabric_window_start_ = fabric_->fabric_drops();
+  for (int r = 0; r < receivers_; ++r) {
+    ReceiverGroup& group = groups_[static_cast<std::size_t>(r)];
+    group.window_start = snapshot_host_counters(harvest_sources(r), fabric_->host_port_drops(r));
+    group.host.mem->begin_window();
+    group.host.remote_mem->begin_window();
+    group.host.receiver->begin_window();
+  }
+}
+
+ClusterMetrics ClusterExperiment::snapshot() const {
+  ClusterMetrics cm;
+  cm.per_receiver.reserve(static_cast<std::size_t>(receivers_));
+  for (int r = 0; r < receivers_; ++r) {
+    const ReceiverGroup& group = groups_[static_cast<std::size_t>(r)];
+    cm.per_receiver.push_back(harvest_host_window(harvest_sources(r), group.window_start,
+                                                  window_start_time_,
+                                                  fabric_->host_port_drops(r)));
+  }
+  for (const Metrics& m : cm.per_receiver) {
+    cm.total_app_throughput_gbps += m.app_throughput_gbps;
+    cm.total_nic_buffer_drops += m.nic_buffer_drops;
+    cm.total_data_packets_sent += m.data_packets_sent;
+    cm.max_host_delay_p99_us = std::max(cm.max_host_delay_p99_us, m.host_delay_p99_us);
+  }
+  cm.total_fabric_drops = fabric_->fabric_drops() - fabric_window_start_;
+  if (!cm.per_receiver.empty()) {
+    cm.run_status = cm.per_receiver[0].run_status;
+    cm.events_executed = cm.per_receiver[0].events_executed;
+    cm.simulated_seconds = cm.per_receiver[0].simulated_seconds;
+  }
+  return cm;
+}
+
+ClusterMetrics ClusterExperiment::run() {
+  start();
+  sim_.run_until(cfg_.host.warmup);
+  begin_window();
+  sim_.run_until(cfg_.host.warmup + cfg_.host.measure);
+  return snapshot();
+}
+
+}  // namespace hicc

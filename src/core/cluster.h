@@ -1,0 +1,155 @@
+// ClusterExperiment: M senders x K receivers on a config-driven Clos
+// fabric (net/topology.h), every receiver carrying the full
+// NIC/PCIe/IOMMU/mem/rx-threads model via HostFactory.
+//
+// Host numbering: hosts 0..receivers-1 run full receiver stacks and
+// drive the closed-loop read workload; hosts receivers..num_hosts-1
+// are sender machines serving reads to *every* receiver. receivers=1
+// gives the incast tree the paper studies; receivers>1 gives
+// many-to-many traffic with several simultaneous host bottlenecks.
+// When `full_sender_hosts` is set (the default), sender machines also
+// get a full host stack -- constructed but quiescent, since per the
+// paper (§2, footnote 1) the transmit path sees no host congestion;
+// the serving transports remain transport-level SenderHosts.
+//
+// Addressing: transports write the destination host into Packet::dst;
+// the ClosFabric routes purely on it. On the reverse path the
+// receiver-local `sender` index is rewritten to the receiver's own
+// index before transmission so the destination sender machine can
+// dispatch the packet to its per-receiver transport instance
+// (SenderHost itself never reads Packet::sender).
+//
+// Determinism: one RNG stream forked in a fixed order -- per-receiver
+// host stacks, optional sender-host stacks, then per-(sender,
+// receiver) transports, fault engine last. With a one-leaf topology,
+// one receiver, and transport-only senders this is fork-for-fork the
+// legacy Experiment sequence, and the run reproduces its Metrics
+// bitwise (degenerate_cluster(), pinned by tests/cluster_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/host_factory.h"
+#include "core/metrics.h"
+#include "fault/engine.h"
+#include "fault/script.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "transport/sender_host.h"
+
+namespace hicc {
+
+/// Full description of one cluster run.
+struct ClusterConfig {
+  /// Per-host template: receiver knobs, transport, run control, seed.
+  /// `num_senders` is overridden with the topology's sender-machine
+  /// count and `faults` is ignored (use ClusterConfig::faults, which
+  /// understands topology targeting).
+  ExperimentConfig host;
+  net::TopologyConfig topology;
+  /// Hosts 0..receivers-1 run receiver workloads; the rest serve them.
+  int receivers = 1;
+  /// Build a full (quiescent) host stack on sender machines too. The
+  /// degenerate legacy mapping turns this off: the legacy Experiment
+  /// models senders at transport level only.
+  bool full_sender_hosts = true;
+  /// Cluster-level fault script; net.* events accept `leaf=`+`spine=`
+  /// (a leaf-spine link) or `host=` (a host uplink) targeting.
+  fault::FaultScript faults;
+};
+
+/// The degenerate one-leaf mapping of a legacy single-receiver config:
+/// N+1 hosts under one leaf (receiver plus N transport-only senders),
+/// edge links taking the legacy rates/buffers. With the default equal
+/// edge/access propagations this reproduces the legacy Experiment's
+/// Metrics bitwise (the parity test pins it).
+[[nodiscard]] ClusterConfig degenerate_cluster(const ExperimentConfig& cfg);
+
+/// Cluster-level aggregation of the per-receiver Metrics.
+struct ClusterMetrics {
+  /// One Metrics per receiver host, index == host id. Each receiver's
+  /// `fabric_drops` counts its own ports; `events_executed`,
+  /// run status, and fault accounting are run-global.
+  std::vector<Metrics> per_receiver;
+  double total_app_throughput_gbps = 0.0;
+  std::int64_t total_nic_buffer_drops = 0;
+  std::int64_t total_data_packets_sent = 0;
+  /// Whole-fabric drops over the window (every port, O(1) snapshot).
+  std::int64_t total_fabric_drops = 0;
+  double max_host_delay_p99_us = 0.0;
+  RunStatus run_status = RunStatus::kOk;
+  std::uint64_t events_executed = 0;
+  double simulated_seconds = 0.0;
+};
+
+/// One fully-wired multi-host simulation instance; run() may be
+/// called once, like Experiment.
+class ClusterExperiment {
+ public:
+  explicit ClusterExperiment(ClusterConfig cfg);
+
+  ClusterExperiment(const ClusterExperiment&) = delete;
+  ClusterExperiment& operator=(const ClusterExperiment&) = delete;
+  ~ClusterExperiment();
+
+  /// Runs warmup + measurement and returns the aggregated metrics.
+  ClusterMetrics run();
+
+  /// Starts every receiver's workload without running.
+  void start();
+
+  /// Resets all measurement windows at the current instant.
+  void begin_window();
+
+  /// Snapshot of current metrics relative to the last begin_window().
+  [[nodiscard]] ClusterMetrics snapshot() const;
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  /// Null unless config().host.trace.enabled. Per-host component
+  /// probes appear under host_prefix(h); see docs/OBSERVABILITY.md.
+  [[nodiscard]] trace::Tracer* tracer() { return tracer_.get(); }
+  [[nodiscard]] net::ClosFabric& fabric() { return *fabric_; }
+  [[nodiscard]] host::ReceiverHost& receiver(int r) { return *groups_[static_cast<std::size_t>(r)].host.receiver; }
+  [[nodiscard]] int num_receivers() const { return receivers_; }
+  [[nodiscard]] int num_sender_hosts() const { return senders_per_receiver_; }
+  /// Null unless config().faults is non-empty.
+  [[nodiscard]] fault::FaultEngine* fault_engine() { return fault_engine_.get(); }
+  [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
+
+ private:
+  struct ReceiverGroup {
+    FullHost host;
+    /// This receiver's serving transports, one per sender machine
+    /// (borrowed from sender_ports_).
+    std::vector<transport::SenderHost*> senders;
+    HostCounterSnapshot window_start;
+  };
+
+  void dispatch(int host, net::Packet p);
+  [[nodiscard]] HostHarvestSources harvest_sources(int r) const;
+
+  ClusterConfig cfg_;
+  Rng rng_;
+  sim::Simulator sim_;
+  int receivers_ = 0;
+  int senders_per_receiver_ = 0;
+  std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<net::ClosFabric> fabric_;
+  std::vector<ReceiverGroup> groups_;
+  /// Quiescent full stacks on sender machines (full_sender_hosts).
+  std::vector<FullHost> sender_stacks_;
+  /// sender_ports_[s][r]: sender machine receivers_+s's transport
+  /// serving receiver r.
+  std::vector<std::vector<std::unique_ptr<transport::SenderHost>>> sender_ports_;
+  std::unique_ptr<fault::FaultEngine> fault_engine_;
+  std::int64_t fabric_window_start_ = 0;
+  TimePs window_start_time_{};
+  bool started_ = false;
+};
+
+}  // namespace hicc

@@ -12,41 +12,16 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
 
   if (cfg_.trace.enabled) tracer_ = std::make_unique<trace::Tracer>(sim_, cfg_.trace);
 
-  // Probes cover the NIC-local NUMA node only; the remote node's
-  // mem.* probes would collide by name and it is idle in most setups.
-  mem_ = std::make_unique<mem::MemorySystem>(sim_, cfg_.dram, rng_.fork(), TimePs::from_us(5),
-                                             tracer_.get());
-  remote_mem_ = std::make_unique<mem::MemorySystem>(sim_, cfg_.dram, rng_.fork());
-  // §4: scheduling the memory-hungry application on the NUMA node the
-  // NIC is NOT attached to removes it from the contended bus entirely.
-  mem::MemorySystem& antagonist_node = cfg_.antagonist_remote_numa ? *remote_mem_ : *mem_;
-  antagonist_ = std::make_unique<mem::StreamAntagonist>(antagonist_node, cfg_.antagonist,
-                                                        cfg_.antagonist_cores);
-  if (cfg_.antagonist_throttle_gbps > 0.0) {
-    antagonist_node.set_class_throttle(
-        mem::MemClass::kAntagonist,
-        BitRate::gigabytes_per_sec(cfg_.antagonist_throttle_gbps));
-  }
-
-  host::ReceiverParams rp;
-  rp.threads = cfg_.rx_threads;
-  rp.data_region = cfg_.data_region;
-  rp.hugepages = cfg_.hugepages;
-  rp.iommu = cfg_.iommu;
-  rp.pcie = cfg_.pcie;
-  rp.nic = cfg_.nic;
-  rp.nic.ats_enabled = cfg_.ats_enabled;
-  rp.nic.strict_invalidation = cfg_.strict_iommu;
-  rp.thread = cfg_.thread;
-  rp.ddio = cfg_.ddio;
-  rp.copy_read_fraction = cfg_.copy_read_fraction;
-  rp.read_size = cfg_.read_size;
-  rp.read_pipeline = cfg_.read_pipeline;
-  rp.victim_flows = cfg_.victim_flows;
-  rp.victim_read_size = cfg_.victim_read_size;
-  rp.send_host_signals = (cfg_.cc == transport::CcAlgorithm::kHostSignal);
-  receiver_ = std::make_unique<host::ReceiverHost>(sim_, *mem_, rp, cfg_.num_senders,
-                                                   cfg_.wire, rng_.fork(), tracer_.get());
+  // The factory builds the full stack (memory pair, antagonist,
+  // receiver) in the canonical fork order; ClusterExperiment runs the
+  // identical path once per host, which is what makes the degenerate
+  // one-leaf parity bitwise rather than coincidental.
+  HostFactory factory(sim_);
+  FullHost host = factory.make_full_host(cfg_, cfg_.num_senders, rng_, tracer_.get());
+  mem_ = std::move(host.mem);
+  remote_mem_ = std::move(host.remote_mem);
+  antagonist_ = std::move(host.antagonist);
+  receiver_ = std::move(host.receiver);
 
   fabric_ = std::make_unique<net::Fabric>(
       sim_, cfg_.fabric, [this](net::Packet p) { receiver_->on_arrival(std::move(p)); },
@@ -92,25 +67,17 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
   if (!cfg_.faults.empty()) {
     fault_engine_ = std::make_unique<fault::FaultEngine>(
         sim_, cfg_.faults,
-        fault::FaultTargets{fabric_.get(), receiver_.get(), antagonist_.get()}, rng_.fork(),
-        tracer_.get());
+        fault::FaultTargets{.fabric = fabric_.get(),
+                            .receiver = receiver_.get(),
+                            .antagonist = antagonist_.get()},
+        rng_.fork(), tracer_.get());
   }
 }
 
 Experiment::~Experiment() = default;
 
 std::unique_ptr<transport::CongestionControl> Experiment::make_cc() {
-  switch (cfg_.cc) {
-    case transport::CcAlgorithm::kSwift:
-      return std::make_unique<transport::SwiftCc>(sim_, cfg_.swift,
-                                                  /*react_to_host_signal=*/false, tracer_.get());
-    case transport::CcAlgorithm::kTcpLike:
-      return std::make_unique<transport::TcpLikeCc>(sim_);
-    case transport::CcAlgorithm::kHostSignal:
-      return std::make_unique<transport::SwiftCc>(sim_, cfg_.swift,
-                                                  /*react_to_host_signal=*/true, tracer_.get());
-  }
-  return nullptr;
+  return make_congestion_control(sim_, cfg_, tracer_.get());
 }
 
 void Experiment::start() {
@@ -122,29 +89,22 @@ void Experiment::start() {
 
 void Experiment::advance(TimePs dt) { sim_.run_until(sim_.now() + dt); }
 
-Experiment::CounterSnapshot Experiment::snapshot_counters() const {
-  CounterSnapshot s;
-  s.iotlb_misses = receiver_->iommu().stats().misses;
-  s.iotlb_lookups = receiver_->iommu().stats().lookups;
-  s.nic_arrivals = receiver_->nic().stats().arrivals;
-  s.nic_drops = receiver_->nic().stats().buffer_drops;
-  s.delivered = receiver_->nic().stats().delivered;
-  s.fabric_drops = fabric_->fabric_drops();
-  s.translation_stalls = receiver_->pcie().stats().translation_stalls;
-  s.wb_stalls = receiver_->pcie().stats().write_buffer_stalls;
-  s.hol_stalls = receiver_->nic().stats().hol_descriptor_stalls;
-  for (const auto& sender : senders_) {
-    for (const auto& [id, flow] : sender->flows()) {
-      s.data_sent += flow->stats().data_packets_sent;
-      s.retransmits += flow->stats().retransmits;
-      s.rto_fires += flow->stats().rto_fires;
-    }
-  }
-  return s;
+HostHarvestSources Experiment::harvest_sources() const {
+  HostHarvestSources src;
+  src.sim = &sim_;
+  src.receiver = receiver_.get();
+  src.mem = mem_.get();
+  src.remote_mem = remote_mem_.get();
+  src.senders.reserve(senders_.size());
+  for (const auto& sender : senders_) src.senders.push_back(sender.get());
+  src.fault_engine = fault_engine_.get();
+  src.wire = cfg_.wire;
+  src.link_rate = cfg_.fabric.link_rate;
+  return src;
 }
 
 void Experiment::begin_window() {
-  window_start_ = snapshot_counters();
+  window_start_ = snapshot_host_counters(harvest_sources(), fabric_->fabric_drops());
   window_start_time_ = sim_.now();
   mem_->begin_window();
   remote_mem_->begin_window();
@@ -152,82 +112,8 @@ void Experiment::begin_window() {
 }
 
 Metrics Experiment::snapshot() const {
-  const CounterSnapshot now = snapshot_counters();
-  const double secs = (sim_.now() - window_start_time_).sec();
-  Metrics m;
-  m.simulated_seconds = secs;
-  m.events_executed = sim_.executed();
-  switch (sim_.abort_cause()) {
-    case sim::AbortCause::kNone:
-      m.run_status = RunStatus::kOk;
-      break;
-    case sim::AbortCause::kEventBudget:
-      m.run_status = RunStatus::kEventBudget;
-      break;
-    case sim::AbortCause::kTimestampStall:
-      m.run_status = RunStatus::kStalled;
-      break;
-  }
-  m.run_status_detail = sim_.abort_reason();
-  if (fault_engine_ != nullptr) {
-    const fault::FaultReport fr = fault_engine_->report();
-    m.fault_windows = fr.windows;
-    m.fault_drops = fr.drops;
-    m.fault_active_us = fr.active_us;
-    m.fault_blind_us = fr.blind_us;
-  }
-  if (secs <= 0.0) return m;
-
-  const auto& win = receiver_->window();
-  m.app_throughput_gbps = static_cast<double>(win.processed_bytes) * 8.0 / secs * 1e-9;
-
-  const std::int64_t arrivals = now.nic_arrivals - window_start_.nic_arrivals;
-  const double wire_bits =
-      static_cast<double>(arrivals) * cfg_.wire.data_wire().bits();
-  m.link_utilization = wire_bits / secs / cfg_.fabric.link_rate.bps();
-
-  m.delivered_packets = win.processed_packets;
-  m.nic_buffer_drops = now.nic_drops - window_start_.nic_drops;
-  m.fabric_drops = now.fabric_drops - window_start_.fabric_drops;
-  m.data_packets_sent = (now.data_sent - window_start_.data_sent) +
-                        (now.retransmits - window_start_.retransmits);
-  m.retransmits = now.retransmits - window_start_.retransmits;
-  m.rto_fires = now.rto_fires - window_start_.rto_fires;
-  m.drop_rate = m.data_packets_sent > 0 ? static_cast<double>(m.nic_buffer_drops) /
-                                              static_cast<double>(m.data_packets_sent)
-                                        : 0.0;
-
-  m.iotlb_misses = now.iotlb_misses - window_start_.iotlb_misses;
-  m.iotlb_lookups = now.iotlb_lookups - window_start_.iotlb_lookups;
-  const std::int64_t delivered_delta = now.delivered - window_start_.delivered;
-  m.iotlb_misses_per_packet =
-      delivered_delta > 0
-          ? static_cast<double>(m.iotlb_misses) / static_cast<double>(delivered_delta)
-          : 0.0;
-
-  m.memory = mem_->window_report();
-  m.remote_memory = remote_mem_->window_report();
-  m.host_delay_p50_us = win.host_delay_us.percentile(50);
-  m.host_delay_p99_us = win.host_delay_us.percentile(99);
-  m.host_delay_max_us = win.host_delay_us.max_value();
-  m.victim_reads = win.victim_read_us.count();
-  m.victim_read_p50_us = win.victim_read_us.percentile(50);
-  m.victim_read_p99_us = win.victim_read_us.percentile(99);
-
-  m.pcie_translation_stalls = now.translation_stalls - window_start_.translation_stalls;
-  m.pcie_write_buffer_stalls = now.wb_stalls - window_start_.wb_stalls;
-  m.hol_descriptor_stalls = now.hol_stalls - window_start_.hol_stalls;
-
-  double cwnd_sum = 0.0;
-  std::int64_t flows = 0;
-  for (const auto& sender : senders_) {
-    for (const auto& [id, flow] : sender->flows()) {
-      cwnd_sum += flow->cwnd();
-      ++flows;
-    }
-  }
-  m.avg_cwnd = flows > 0 ? cwnd_sum / static_cast<double>(flows) : 0.0;
-  return m;
+  return harvest_host_window(harvest_sources(), window_start_, window_start_time_,
+                             fabric_->fabric_drops());
 }
 
 Metrics Experiment::run() {

@@ -17,6 +17,7 @@
 
 #include "common/rng.h"
 #include "core/config.h"
+#include "core/host_factory.h"
 #include "core/metrics.h"
 #include "fault/engine.h"
 #include "host/receiver_host.h"
@@ -68,23 +69,10 @@ class Experiment {
   [[nodiscard]] const ExperimentConfig& config() const { return cfg_; }
 
  private:
-  struct CounterSnapshot {
-    std::int64_t iotlb_misses = 0;
-    std::int64_t iotlb_lookups = 0;
-    std::int64_t nic_arrivals = 0;
-    std::int64_t nic_drops = 0;
-    std::int64_t data_sent = 0;
-    std::int64_t retransmits = 0;
-    std::int64_t rto_fires = 0;
-    std::int64_t delivered = 0;
-    std::int64_t fabric_drops = 0;
-    std::int64_t translation_stalls = 0;
-    std::int64_t wb_stalls = 0;
-    std::int64_t hol_stalls = 0;
-  };
-
   [[nodiscard]] std::unique_ptr<transport::CongestionControl> make_cc();
-  [[nodiscard]] CounterSnapshot snapshot_counters() const;
+  /// Harvest sources for the shared per-host window math
+  /// (core/host_factory.h); fabric_drops is supplied by the caller.
+  [[nodiscard]] HostHarvestSources harvest_sources() const;
 
   ExperimentConfig cfg_;
   Rng rng_;
@@ -102,7 +90,7 @@ class Experiment {
   /// Built last (and forks rng_ last) so runs whose script never fires
   /// stay event-identical to engine-less runs; null when no script.
   std::unique_ptr<fault::FaultEngine> fault_engine_;
-  CounterSnapshot window_start_;
+  HostCounterSnapshot window_start_;
   TimePs window_start_time_{};
   bool started_ = false;
 };

@@ -1,9 +1,12 @@
 #include "core/validate.h"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <sstream>
 #include <string>
+
+#include "core/cluster.h"
 
 namespace hicc {
 namespace {
@@ -34,10 +37,15 @@ std::string fmt(double v) {
 /// Per-kind parameter contract of the fault script: which keys an
 /// injector understands (validated so a typo like `core=8` fails loudly
 /// instead of silently applying the default).
-const std::set<std::string>& known_params(fault::FaultKind kind) {
+const std::set<std::string>& known_params(fault::FaultKind kind, bool clos_targets) {
   static const std::set<std::string> net_link{"link"};
   static const std::set<std::string> net_rate{"link", "gbps"};
   static const std::set<std::string> net_loss{"link", "prob"};
+  // Cluster scripts target topology links by coordinates, not by the
+  // legacy sender-uplink index.
+  static const std::set<std::string> clos_link{"leaf", "spine", "host"};
+  static const std::set<std::string> clos_rate{"leaf", "spine", "host", "gbps"};
+  static const std::set<std::string> clos_loss{"leaf", "spine", "host", "prob"};
   static const std::set<std::string> none{};
   static const std::set<std::string> squeeze{"kb"};
   static const std::set<std::string> storm{"per_us"};
@@ -47,11 +55,11 @@ const std::set<std::string>& known_params(fault::FaultKind kind) {
   static const std::set<std::string> churn{"flows"};
   switch (kind) {
     case fault::FaultKind::kNetLinkDown:
-      return net_link;
+      return clos_targets ? clos_link : net_link;
     case fault::FaultKind::kNetRate:
-      return net_rate;
+      return clos_targets ? clos_rate : net_rate;
     case fault::FaultKind::kNetLoss:
-      return net_loss;
+      return clos_targets ? clos_loss : net_loss;
     case fault::FaultKind::kNicCreditStall:
       return none;
     case fault::FaultKind::kNicBufferSqueeze:
@@ -70,8 +78,11 @@ const std::set<std::string>& known_params(fault::FaultKind kind) {
   return none;
 }
 
+/// `topo` selects net.* targeting: null validates the legacy `link=`
+/// index, non-null the cluster's `leaf=`+`spine=` / `host=` coordinates.
 void validate_fault_event(const ExperimentConfig& cfg, const fault::FaultEvent& e,
-                          const std::string& where, Checker& c) {
+                          const std::string& where, Checker& c,
+                          const net::TopologyConfig* topo = nullptr) {
   c.require(e.at >= TimePs(0), where + ".at", "activation time must be >= 0");
   c.require(e.duration >= TimePs(0), where + ".duration", "duration must be >= 0");
   if (e.period != TimePs(0)) {
@@ -83,7 +94,7 @@ void validate_fault_event(const ExperimentConfig& cfg, const fault::FaultEvent& 
   }
 
   for (const auto& [key, value] : e.params) {
-    if (known_params(e.kind).count(key) == 0) {
+    if (known_params(e.kind, topo != nullptr).count(key) == 0) {
       c.fail(where + "." + key,
              "unknown parameter for " + std::string(fault::to_string(e.kind)) +
                  " (check docs/FAULTS.md for the injector's keys)");
@@ -101,12 +112,41 @@ void validate_fault_event(const ExperimentConfig& cfg, const fault::FaultEvent& 
     case fault::FaultKind::kNetLinkDown:
     case fault::FaultKind::kNetRate:
     case fault::FaultKind::kNetLoss: {
-      const double link = get("link", -1.0);
-      c.require(link >= -1.0 && link < static_cast<double>(cfg.num_senders) &&
-                    link == std::floor(link),
-                where + ".link",
-                "link must be 'access' (-1) or a sender uplink index in [0, " +
-                    std::to_string(cfg.num_senders) + ")");
+      if (topo != nullptr) {
+        const double leaf = get("leaf", -1.0);
+        const double spine = get("spine", -1.0);
+        const double host = get("host", -1.0);
+        c.require(has("leaf") == has("spine"), where + ".leaf",
+                  "leaf= and spine= name a leaf-spine link together; give both or neither");
+        c.require(!(has("host") && (has("leaf") || has("spine"))), where + ".host",
+                  "host= (an edge uplink) is exclusive with leaf=/spine=");
+        if (has("leaf")) {
+          c.require(leaf >= 0.0 && leaf < static_cast<double>(topo->leaves) &&
+                        leaf == std::floor(leaf),
+                    where + ".leaf",
+                    "leaf must be an index in [0, " + std::to_string(topo->leaves) + ")");
+        }
+        if (has("spine")) {
+          c.require(spine >= 0.0 && spine < static_cast<double>(topo->spines) &&
+                        spine == std::floor(spine),
+                    where + ".spine",
+                    "spine must be an index in [0, " + std::to_string(topo->spines) + ")");
+        }
+        if (has("host")) {
+          c.require(host >= 0.0 && host < static_cast<double>(topo->num_hosts()) &&
+                        host == std::floor(host),
+                    where + ".host",
+                    "host must be an index in [0, " + std::to_string(topo->num_hosts()) +
+                        ")");
+        }
+      } else {
+        const double link = get("link", -1.0);
+        c.require(link >= -1.0 && link < static_cast<double>(cfg.num_senders) &&
+                      link == std::floor(link),
+                  where + ".link",
+                  "link must be 'access' (-1) or a sender uplink index in [0, " +
+                      std::to_string(cfg.num_senders) + ")");
+      }
       if (e.kind == fault::FaultKind::kNetRate) {
         c.require(has("gbps"), where + ".gbps", "net.rate needs a target rate, e.g. gbps=25");
         c.require(get("gbps", 1.0) > 0.0, where + ".gbps",
@@ -246,6 +286,55 @@ std::vector<ConfigViolation> validate(const ExperimentConfig& cfg) {
   // Fault script semantics (syntax errors are caught by parse_script).
   for (std::size_t i = 0; i < cfg.faults.events.size(); ++i) {
     validate_fault_event(cfg, cfg.faults.events[i], "faults[" + std::to_string(i) + "]", c);
+  }
+
+  return violations;
+}
+
+std::vector<ConfigViolation> validate(const ClusterConfig& cfg) {
+  std::vector<ConfigViolation> violations;
+  Checker c(&violations);
+  const net::TopologyConfig& topo = cfg.topology;
+
+  // Topology shape.
+  c.require(topo.leaves >= 1, "topology.leaves", "need at least one leaf switch");
+  c.require(topo.spines >= 1, "topology.spines", "need at least one spine switch");
+  c.require(topo.hosts_per_leaf >= 1, "topology.hosts_per_leaf",
+            "each leaf needs at least one host");
+  c.require(topo.num_hosts() >= 2, "topology.hosts_per_leaf",
+            "a cluster needs >= 2 hosts (one receiver plus one sender machine)");
+  c.require(topo.host_link_rate.bps() > 0.0, "topology.host_link_rate",
+            "host link rate must be > 0");
+  c.require(topo.fabric_link_rate.bps() > 0.0, "topology.fabric_link_rate",
+            "fabric link rate must be > 0");
+  c.require(topo.edge_propagation >= TimePs(0), "topology.edge_propagation",
+            "propagation delay cannot be negative");
+  c.require(topo.fabric_propagation >= TimePs(0), "topology.fabric_propagation",
+            "propagation delay cannot be negative");
+  c.require(topo.edge_buffer >= cfg.host.wire.data_wire(), "topology.edge_buffer",
+            "edge port buffer must hold at least one wire MTU (" +
+                std::to_string(cfg.host.wire.data_wire().count()) + " bytes)");
+  c.require(topo.fabric_buffer >= cfg.host.wire.data_wire(), "topology.fabric_buffer",
+            "fabric port buffer must hold at least one wire MTU (" +
+                std::to_string(cfg.host.wire.data_wire().count()) + " bytes)");
+  c.require(cfg.receivers >= 1 && cfg.receivers < topo.num_hosts(), "receivers",
+            "receiver count must be in [1, num_hosts=" + std::to_string(topo.num_hosts()) +
+                "), leaving at least one sender machine");
+
+  // The per-host template, as ClusterExperiment will actually run it:
+  // num_senders overridden by the topology, the legacy fault script
+  // ignored in favor of cfg.faults.
+  ExperimentConfig host = cfg.host;
+  host.num_senders = std::max(1, topo.num_hosts() - cfg.receivers);
+  host.faults = fault::FaultScript{};
+  for (ConfigViolation& v : validate(host)) {
+    v.field = "host." + v.field;
+    violations.push_back(std::move(v));
+  }
+
+  for (std::size_t i = 0; i < cfg.faults.events.size(); ++i) {
+    validate_fault_event(host, cfg.faults.events[i], "faults[" + std::to_string(i) + "]", c,
+                         &topo);
   }
 
   return violations;

@@ -16,6 +16,8 @@
 
 namespace hicc {
 
+struct ClusterConfig;
+
 /// One rejected configuration aspect.
 struct ConfigViolation {
   /// Dotted path of the offending field ("rx_threads",
@@ -29,6 +31,12 @@ struct ConfigViolation {
 /// fault script's semantic constraints. Empty result = valid. Never
 /// throws; ordering is stable (declaration order, then script order).
 [[nodiscard]] std::vector<ConfigViolation> validate(const ExperimentConfig& cfg);
+
+/// Cluster variant (core/cluster.h): checks the topology shape, the
+/// effective per-host config (violations prefixed "host."), and the
+/// cluster fault script -- whose net.* events target topology links by
+/// `leaf=`+`spine=` or `host=` rather than the legacy `link=` index.
+[[nodiscard]] std::vector<ConfigViolation> validate(const ClusterConfig& cfg);
 
 /// Renders violations one per line as "field: message" (for CLI
 /// output and exception messages).

@@ -8,6 +8,7 @@
 #include "mem/stream_antagonist.h"
 #include "net/fabric.h"
 #include "net/link.h"
+#include "net/topology.h"
 
 namespace hicc::fault {
 namespace {
@@ -70,6 +71,23 @@ int FaultEngine::active_of_kind(FaultKind kind) const {
 }
 
 net::QueuedLink* FaultEngine::link_of(const FaultEvent& e) const {
+  if (targets_.clos != nullptr) {
+    const auto& topo = targets_.clos->config();
+    const int leaf = static_cast<int>(param(e, "leaf", -1.0));
+    const int spine = static_cast<int>(param(e, "spine", -1.0));
+    if (leaf >= 0 && spine >= 0) {
+      if (leaf >= topo.leaves || spine >= topo.spines) return nullptr;
+      return &targets_.clos->leaf_uplink(leaf, spine);
+    }
+    const int host = static_cast<int>(param(e, "host", -1.0));
+    if (host >= 0) {
+      if (host >= topo.num_hosts()) return nullptr;
+      return &targets_.clos->host_uplink(host);
+    }
+    // Default: the hot port of the incast -- receiver 0's downlink,
+    // the access-link analog of the legacy fabric.
+    return &targets_.clos->host_downlink(0);
+  }
   if (targets_.fabric == nullptr) return nullptr;
   const int link = static_cast<int>(param(e, "link", -1.0));
   if (link < 0) return &targets_.fabric->access_link();

@@ -28,6 +28,7 @@
 #include "trace/trace.h"
 
 namespace hicc::net {
+class ClosFabric;
 class Fabric;
 class QueuedLink;
 }  // namespace hicc::net
@@ -46,6 +47,10 @@ namespace hicc::fault {
 /// that would hit a null target before a run starts).
 struct FaultTargets {
   net::Fabric* fabric = nullptr;
+  /// Clos topology runs set this instead of `fabric`; net.* events may
+  /// then target a leaf-spine link (`leaf=`+`spine=`) or a host uplink
+  /// (`host=`), defaulting to receiver 0's downlink port.
+  net::ClosFabric* clos = nullptr;
   host::ReceiverHost* receiver = nullptr;
   mem::StreamAntagonist* antagonist = nullptr;
 };

@@ -40,11 +40,11 @@ class QueuedLink {
   /// down, or a loss window discards the packet.
   bool send(Packet p) {
     if (down_ || (loss_prob_ > 0.0 && loss_rng_ != nullptr && loss_rng_->chance(loss_prob_))) {
-      ++drops_;
+      record_drop();
       return false;
     }
     if (queued_ + p.wire > capacity_) {
-      ++drops_;
+      record_drop();
       return false;
     }
     // Occupancy is released at delivery (serialization + propagation),
@@ -83,7 +83,18 @@ class QueuedLink {
     loss_rng_ = rng;
   }
 
+  /// Attaches a shared running total bumped on every drop, letting a
+  /// fabric report aggregate drops in O(1) instead of rescanning every
+  /// link per snapshot. Pure accounting: drops themselves (and the
+  /// event stream) are unchanged. Counter must outlive the link.
+  void set_drop_total(std::int64_t* total) { drop_total_ = total; }
+
  private:
+  void record_drop() {
+    ++drops_;
+    if (drop_total_ != nullptr) ++*drop_total_;
+  }
+
   sim::Simulator& sim_;
   BitRate rate_;
   TimePs propagation_;
@@ -92,6 +103,7 @@ class QueuedLink {
   TimePs busy_until_{};
   Bytes queued_{};
   std::int64_t drops_ = 0;
+  std::int64_t* drop_total_ = nullptr;
   bool down_ = false;
   double loss_prob_ = 0.0;
   Rng* loss_rng_ = nullptr;

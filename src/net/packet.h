@@ -23,6 +23,11 @@ struct Packet {
   std::int32_t flow = -1;
   /// Index of the sending host for data, or destination for ACKs.
   std::int32_t sender = -1;
+  /// Destination host id for multi-host (Clos) routing; -1 in the
+  /// legacy single-receiver fabric. Occupies the alignment hole after
+  /// `sender`, so Packet stays 64 bytes and the QueuedLink delivery
+  /// closure keeps fitting an 80-byte InlineAction (DESIGN §8).
+  std::int32_t dst = -1;
   /// Per-flow sequence number of data packets; for ACKs, the sequence
   /// being acknowledged.
   std::int64_t seq = -1;

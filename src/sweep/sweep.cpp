@@ -264,7 +264,10 @@ std::vector<SweepResult> SweepRunner::run(std::vector<ExperimentConfig> points) 
 }
 
 void harvest_trace(Experiment& exp, SweepResult& r) {
-  trace::Tracer* tracer = exp.tracer();
+  harvest_trace_probes(exp.tracer(), r);
+}
+
+void harvest_trace_probes(trace::Tracer* tracer, SweepResult& r) {
   if (tracer == nullptr) return;
   tracer->sample_now();  // refresh polled + derived values at run end
   const auto& probes = tracer->probes();

@@ -28,7 +28,10 @@
 
 namespace hicc {
 class Experiment;
+namespace trace {
+class Tracer;
 }
+}  // namespace hicc
 
 namespace hicc::sweep {
 
@@ -98,6 +101,12 @@ class SweepRunner {
 /// level, total drops, RTT percentiles -- into the JSON output without
 /// per-run trace files.
 void harvest_trace(Experiment& exp, SweepResult& r);
+
+/// Tracer-level form of harvest_trace for harnesses that are not an
+/// Experiment (e.g. ClusterExperiment): copies every probe of
+/// `tracer` into `r.extra` as `trace.<probe-name>`. No-op on nullptr.
+/// (Distinct name so `probe = harvest_trace` stays unambiguous.)
+void harvest_trace_probes(trace::Tracer* tracer, SweepResult& r);
 
 /// Writes results as structured JSON (schema "hicc.sweep.v1"): one
 /// entry per point with config, metrics, extra, and wall_seconds --

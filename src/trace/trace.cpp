@@ -14,6 +14,12 @@ const char* to_string(Kind kind) {
   return "?";
 }
 
+std::string host_prefix(int host) { return "host" + std::to_string(host) + "."; }
+
+std::string host_probe(int host, const std::string& name) {
+  return host_prefix(host) + name;
+}
+
 std::vector<RecordingSink::Sample> RecordingSink::of(const std::string& probe) const {
   std::vector<Sample> out;
   for (const Sample& s : samples_) {
@@ -46,6 +52,7 @@ Tracer::Tracer(sim::Simulator& sim, TraceParams params) : sim_(sim), params_(par
 
 ProbeId Tracer::intern(std::string name, Kind kind, std::string unit,
                        std::function<double()> poll, bool emit) {
+  if (!prefix_.empty()) name.insert(0, prefix_);
   for (std::size_t i = 0; i < catalog_.size(); ++i) {
     if (catalog_[i].name == name) {
       // Get-or-create: instances sharing a metric share the series.

@@ -49,6 +49,20 @@ namespace hicc::trace {
 /// What a probe measures; determines how the sampler emits it.
 enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
 
+/// Canonical per-host probe name prefix: host_prefix(3) == "host3.".
+/// Cluster runs register each host's component probes under this
+/// prefix so the hosts get distinct series (registration is
+/// get-or-create by name; without the prefix all hosts would merge
+/// into one series). See docs/OBSERVABILITY.md, "Per-host probes".
+[[nodiscard]] std::string host_prefix(int host);
+
+/// Canonical host-indexed probe name: host_probe(3, "cluster.port_drops")
+/// == "host3.cluster.port_drops". Probes registered through this
+/// helper are documented once in docs/OBSERVABILITY.md under the
+/// template form `host<h>.<name>`; scripts/hicc_lint.py recognizes the
+/// idiom and checks the template form instead of the expanded names.
+[[nodiscard]] std::string host_probe(int host, const std::string& name);
+
 /// Short label for a probe kind ("counter" / "gauge" / "histogram").
 [[nodiscard]] const char* to_string(Kind kind);
 
@@ -138,6 +152,29 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
+  /// RAII name scope: while alive, every probe registered on `tracer`
+  /// has `prefix` prepended to its name. ClusterExperiment wraps each
+  /// host's component construction in a ScopedPrefix(host_prefix(h))
+  /// so literal registrations like "nic.buffer_drops" become per-host
+  /// series ("host0.nic.buffer_drops") without touching component
+  /// code. Scopes nest; a null tracer makes the scope a no-op.
+  class ScopedPrefix {
+   public:
+    ScopedPrefix(Tracer* tracer, const std::string& prefix)
+        : tracer_(tracer), saved_len_(tracer != nullptr ? tracer->prefix_.size() : 0) {
+      if (tracer_ != nullptr) tracer_->prefix_ += prefix;
+    }
+    ~ScopedPrefix() {
+      if (tracer_ != nullptr) tracer_->prefix_.resize(saved_len_);
+    }
+    ScopedPrefix(const ScopedPrefix&) = delete;
+    ScopedPrefix& operator=(const ScopedPrefix&) = delete;
+
+   private:
+    Tracer* tracer_;
+    std::size_t saved_len_;
+  };
+
   // ---------------------------------------------------- registration
 
   /// Registers (or looks up -- registration is get-or-create by name,
@@ -216,6 +253,8 @@ class Tracer {
 
   sim::Simulator& sim_;
   TraceParams params_;
+  /// Active ScopedPrefix chain, prepended to every interned name.
+  std::string prefix_;
   TraceSink* sink_ = nullptr;
   std::vector<ProbeInfo> catalog_;  // parallel to probes_
   std::vector<Probe> probes_;

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cluster.h"
 #include "core/experiment.h"
 #include "core/validate.h"
 #include "fault/engine.h"
@@ -342,6 +343,60 @@ TEST(FaultExperiment, AntagonistBurstDisturbsTheHost) {
   EXPECT_GT(m.memory.by_class_gbytes_per_sec[ant], 1.0);
   EXPECT_GT(m.pcie_write_buffer_stalls, base.pcie_write_buffer_stalls);
   EXPECT_LT(m.app_throughput_gbps, base.app_throughput_gbps);
+}
+
+// ------------------------------------------------- cluster targeting
+
+ClusterConfig small_cluster() {
+  ClusterConfig cfg;
+  cfg.host = small_config();
+  cfg.topology.leaves = 2;
+  cfg.topology.spines = 2;
+  cfg.topology.hosts_per_leaf = 4;
+  return cfg;
+}
+
+TEST(FaultCluster, LinkDownTargetsASpecificLeafSpineLink) {
+  ClusterConfig cfg = small_cluster();
+  // Down leaf 1's uplink to spine 1 for the middle of the run: only
+  // the inter-leaf flows ECMP-hashed onto that spine lose packets.
+  cfg.faults = parse_script("net.link_down@250us+200us,leaf=1,spine=1").script;
+  ASSERT_TRUE(validate(cfg).empty()) << describe(validate(cfg));
+
+  ClusterExperiment exp(cfg);
+  ASSERT_NE(exp.fault_engine(), nullptr);
+  const ClusterMetrics m = exp.run();
+
+  ASSERT_EQ(m.per_receiver.size(), 1u);
+  EXPECT_EQ(m.per_receiver[0].fault_windows, 1);
+  EXPECT_GT(exp.fabric().leaf_uplink(1, 1).drops(), 0);
+  // The sibling spine path stays up and uncongested.
+  EXPECT_EQ(exp.fabric().leaf_uplink(1, 0).drops(), 0);
+  // Downed-link drops count as fabric drops, not host drops.
+  EXPECT_GT(m.total_fabric_drops, 0);
+  EXPECT_EQ(m.run_status, RunStatus::kOk);
+}
+
+TEST(FaultCluster, HostParamTargetsAnEdgeUplinkAndDefaultIsTheReceiverDownlink) {
+  // host=5 downs sender machine 5's uplink: everything it transmits
+  // during the window drops at its own port.
+  ClusterConfig cfg = small_cluster();
+  cfg.faults = parse_script("net.link_down@250us+100us,host=5").script;
+  ASSERT_TRUE(validate(cfg).empty());
+  ClusterExperiment up(cfg);
+  const ClusterMetrics mu = up.run();
+  EXPECT_GT(up.fabric().host_uplink(5).drops(), 0);
+  EXPECT_EQ(up.fabric().host_downlink(0).drops(), 0);
+  EXPECT_EQ(mu.run_status, RunStatus::kOk);
+
+  // No target parameter: the receiver's downlink (the access-link
+  // analog, matching the legacy fabric's default).
+  cfg.faults = parse_script("net.link_down@250us+100us").script;
+  ASSERT_TRUE(validate(cfg).empty());
+  ClusterExperiment down(cfg);
+  const ClusterMetrics md = down.run();
+  EXPECT_GT(down.fabric().host_downlink(0).drops(), 0);
+  EXPECT_EQ(md.run_status, RunStatus::kOk);
 }
 
 // --------------------------------------------------------- watchdog
