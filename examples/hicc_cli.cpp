@@ -96,6 +96,11 @@ void usage() {
       "  --fabric-gbps=X    leaf-to-spine link rate (default 100)\n"
       "  --full-hosts=0|1   build quiescent full host stacks on sender\n"
       "                     machines (default 1)\n"
+      "  --parallel=N       run the cluster on the partitioned engine with\n"
+      "                     N threads (docs/PARALLELISM.md); 'auto' sizes\n"
+      "                     the pool like --jobs, 0 keeps the serial path\n"
+      "                     (default 0). Results are bitwise-identical for\n"
+      "                     every N >= 1\n"
       "faults (docs/FAULTS.md):\n"
       "  --faults=SPEC      schedule mid-run disturbances. SPEC is a ';'-\n"
       "                     separated list of kind@time[+dur][/period][,k=v...]\n"
@@ -219,6 +224,14 @@ int run_topology(const Flags& flags, hicc::ExperimentConfig host_cfg,
   cfg.topology.fabric_link_rate = hicc::BitRate::gbps(flags.number("fabric-gbps", 100));
   cfg.receivers = static_cast<int>(flags.number("receivers", 1));
   cfg.full_sender_hosts = flags.flag("full-hosts", true);
+  const std::string parallel = flags.str("parallel", "0");
+  if (parallel == "auto") {
+    // Same pool-sizing rule as sweep --jobs ($HICC_JOBS, then hardware
+    // concurrency); the engine clamps to the partition count.
+    cfg.parallelism = hicc::sweep::SweepRunner::resolve_jobs(0);
+  } else {
+    cfg.parallelism = static_cast<int>(flags.number("parallel", 0));
+  }
 
   if (const auto violations = hicc::validate(cfg); !violations.empty()) {
     std::fprintf(stderr, "invalid cluster configuration (%zu problem(s)):\n",
@@ -265,6 +278,12 @@ int run_topology(const Flags& flags, hicc::ExperimentConfig host_cfg,
               static_cast<long long>(cm.total_fabric_drops));
   std::printf("simulated          %.1f ms (%llu events)\n", cm.simulated_seconds * 1e3,
               static_cast<unsigned long long>(cm.events_executed));
+  if (cm.partitions > 0) {
+    std::printf("parallel engine    %d partitions, %llu windows, %llu cross-partition "
+                "messages\n",
+                cm.partitions, static_cast<unsigned long long>(cm.parallel_windows),
+                static_cast<unsigned long long>(cm.parallel_messages));
+  }
   if (cm.run_status != hicc::RunStatus::kOk) {
     std::printf("run status         %s\n", hicc::to_string(cm.run_status));
   }

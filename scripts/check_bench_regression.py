@@ -7,9 +7,10 @@ Usage:
 
 Both files are bench records written by a micro-bench binary's
 `--json=PATH`: `hicc.bench.v1` from bench/micro_engine (baseline
-bench/BENCH_ENGINE.json) or `hicc.bench.topology.v1` from
-bench/micro_topology (baseline bench/BENCH_TOPOLOGY.json); see
-docs/PERFORMANCE.md. The two files must carry the same schema --
+bench/BENCH_ENGINE.json), `hicc.bench.topology.v1` from
+bench/micro_topology (baseline bench/BENCH_TOPOLOGY.json), or
+`hicc.bench.parallel.v1` from bench/micro_parallel (baseline
+bench/BENCH_PARALLEL.json); see docs/PERFORMANCE.md. The two files must carry the same schema --
 comparing an engine run against a topology baseline is a tooling
 mistake, not a regression.
 
@@ -45,6 +46,7 @@ REFERENCE = "BM_ReferenceSpin"
 SCHEMAS = {
     "hicc.bench.v1": "micro_engine",
     "hicc.bench.topology.v1": "micro_topology",
+    "hicc.bench.parallel.v1": "micro_parallel",
 }
 EXIT_REGRESSION = 1
 EXIT_BAD_RECORD = 2

@@ -7,8 +7,11 @@ docs/STATIC_ANALYSIS.md for the full catalog and rationale):
   * bitwise determinism given a seed (determinism rules `det-*`),
   * an allocation-free event-engine hot path (hot-path rules `hot-*`),
 
-plus the module dependency DAG from DESIGN.md (`layer-*`) and the
-probe-catalog docs lockstep (`docs-*`).
+plus the module dependency DAG from DESIGN.md (`layer-*`), the
+parallel-engine concurrency contract from docs/PARALLELISM.md (`par-*`:
+no shared mutable statics under partition callbacks, cross-partition
+sends only via ParallelEngine::post()), and the docs lockstep (`docs-*`:
+probe catalog, ParallelParams knob catalog).
 
 Pure regex/token analysis over a comment-and-string-stripped view of
 each line -- no libclang, no compile step, runs in milliseconds on the
@@ -76,6 +79,11 @@ HOTPATH_REQUIRED_DIRS = ("src/sim", "src/nic", "src/pcie", "src/iommu")
 
 # Probe names registered with a string literal must appear in these docs.
 PROBE_DOCS = ("docs/OBSERVABILITY.md", "docs/FAULTS.md")
+
+# ParallelEngine knobs (src/sim/parallel.h ParallelParams fields) must
+# each appear in the concurrency-model doc.
+PAR_DOC = "docs/PARALLELISM.md"
+PAR_KNOB_FILE = "src/sim/parallel.h"
 
 SUPPRESS_RE = re.compile(r"//\s*hicc-lint:\s*allow\(([^)]*)\)")
 SUPPRESS_FILE_RE = re.compile(r"//\s*hicc-lint:\s*allow-file\(([^)]*)\)")
@@ -479,6 +487,91 @@ def rule_docs_probe(ctx, docs_text):
                 "to where the names are cataloged")
 
 
+PAR_STATIC_RE = re.compile(r"(?<![\w:.])static\s+")
+PAR_STATIC_CONST_RE = re.compile(r"(?:inline\s+)?(?:const\b|constexpr\b)")
+PAR_CROSS_SCHED_RE = re.compile(
+    r"\bsim\s*\(\s*[^()]*\)\s*\.\s*(at|in|run_until)\s*\(")
+PAR_FIELD_RE = re.compile(
+    r"[A-Za-z_][\w:<>,*&\s]*?[\s&*](\w+)\s*(?:\{[^{}]*\}\s*)?(?:=[^;]*)?;")
+
+
+def rule_par_static_mutable(ctx):
+    """Mutable statics are shared across partition callbacks.
+
+    Under the parallel engine (sim/parallel.h) partition callbacks run
+    concurrently on the worker pool, so any non-const static -- file
+    scope, function local, or class member -- is unguarded shared state:
+    a data race at worst, cross-partition nondeterminism at best (this
+    includes thread_local, because partitions migrate across threads).
+    State must live in the objects a partition owns, or be const.
+    """
+    if ctx.module() is None:
+        return
+    for i, line in enumerate(ctx.code, start=1):
+        for m in PAR_STATIC_RE.finditer(line):
+            rest = line[m.end():]
+            if PAR_STATIC_CONST_RE.match(rest):
+                continue
+            stmt = rest.split(";")[0]
+            if "(" in stmt or ";" not in rest:
+                continue  # function declaration, or decl continues past EOL
+            idents = re.findall(r"\w+", stmt.split("=")[0])
+            name = idents[-1] if idents else "?"
+            yield ctx.finding(
+                i, m.start() + 1, "par-static-mutable",
+                f"mutable static '{name}' is unguarded shared state across "
+                "partition callbacks under the parallel engine; keep state "
+                "in the owning partition's objects or make it const "
+                "(docs/PARALLELISM.md)")
+
+
+def rule_par_engine_post(ctx):
+    """Cross-partition sends go through ParallelEngine::post() only.
+
+    Scheduling straight into a Simulator fetched with engine.sim(p)
+    bypasses the mailbox merge, so the event escapes the canonical
+    (time, src, seq) order and its timestamp is never checked against
+    the lookahead -- determinism and window safety both break.
+    """
+    if ctx.module() is None or ctx.path.startswith("src/sim/parallel."):
+        return
+    for i, line in enumerate(ctx.code, start=1):
+        for m in PAR_CROSS_SCHED_RE.finditer(line):
+            yield ctx.finding(
+                i, m.start() + 1, "par-engine-post",
+                f"'{m.group(1)}' on a partition Simulator fetched from the "
+                "engine bypasses the mailbox merge; cross-partition events "
+                "must go through ParallelEngine::post() "
+                "(docs/PARALLELISM.md)")
+
+
+def rule_docs_par_knob(ctx, par_doc_text):
+    """Every ParallelParams knob must appear in docs/PARALLELISM.md."""
+    if ctx.path != PAR_KNOB_FILE:
+        return
+    in_struct = False
+    depth = 0
+    for i, line in enumerate(ctx.code, start=1):
+        if not in_struct:
+            if re.search(r"\bstruct\s+ParallelParams\b", line):
+                in_struct = True
+                depth = line.count("{") - line.count("}")
+            continue
+        stmt = line.strip()
+        m = PAR_FIELD_RE.match(stmt)
+        if m and "(" not in stmt.split("=")[0].split("{")[0]:
+            name = m.group(1)
+            if name not in par_doc_text:
+                yield ctx.finding(
+                    i, line.index(name) + 1, "docs-par-knob",
+                    f"ParallelParams knob '{name}' is not documented in "
+                    f"{PAR_DOC}; the concurrency-model doc and the engine "
+                    "knobs change together")
+        depth += line.count("{") - line.count("}")
+        if depth <= 0:
+            return
+
+
 RULES_STANDALONE = [
     rule_det_wallclock,
     rule_det_rand,
@@ -490,13 +583,16 @@ RULES_STANDALONE = [
     rule_hot_vector_growth,
     rule_layer_dag,
     rule_layer_trace_header,
+    rule_par_static_mutable,
+    rule_par_engine_post,
 ]
 
 ALL_RULES = sorted(
     ["det-wallclock", "det-rand", "det-seeded-rng", "det-unordered-iter",
      "hot-marker-missing", "hot-std-function", "hot-heap-alloc",
      "hot-vector-growth", "layer-dag", "layer-trace-header",
-     "docs-probe-undocumented", "docs-probe-dynamic"])
+     "docs-probe-undocumented", "docs-probe-dynamic",
+     "par-static-mutable", "par-engine-post", "docs-par-knob"])
 
 
 # --------------------------------------------------------------------
@@ -558,6 +654,12 @@ def main():
             with open(doc_path) as f:
                 docs_text += f.read()
 
+    par_doc_text = ""
+    par_doc_path = os.path.join(root, PAR_DOC)
+    if os.path.exists(par_doc_path):
+        with open(par_doc_path) as f:
+            par_doc_text = f.read()
+
     findings = []
     contexts = []
     for path in collect_files(args.paths):
@@ -575,6 +677,7 @@ def main():
         for rule_fn in RULES_STANDALONE:
             raw.extend(rule_fn(ctx))
         raw.extend(rule_docs_probe(ctx, docs_text))
+        raw.extend(rule_docs_par_knob(ctx, par_doc_text))
         findings.extend(f for f in raw if not ctx.allowed(f.line, f.rule))
 
     findings.sort(key=Finding.key)

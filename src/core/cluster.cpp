@@ -33,20 +33,39 @@ ClusterExperiment::ClusterExperiment(ClusterConfig cfg)
   cfg_.host.iommu.enabled = cfg_.host.iommu_enabled;
   cfg_.host.faults = fault::FaultScript{};  // cluster script is cfg_.faults
 
-  if (cfg_.host.trace.enabled) tracer_ = std::make_unique<trace::Tracer>(sim_, cfg_.host.trace);
+  if (cfg_.parallelism >= 1) {
+    sim::ParallelParams pp;
+    pp.partitions = 1 + cfg_.topology.num_hosts();
+    pp.lookahead = cfg_.topology.edge_propagation;
+    pp.threads = cfg_.parallelism;
+    engine_ = std::make_unique<sim::ParallelEngine>(pp);
+    engine_->set_barrier_hook(sim::InlineAction([this] { on_barrier(); }));
+  }
 
-  fabric_ = std::make_unique<net::ClosFabric>(
-      sim_, cfg_.topology,
-      [this](int h, net::Packet p) { dispatch(h, std::move(p)); });
+  if (cfg_.host.trace.enabled) {
+    tracer_ = std::make_unique<trace::Tracer>(fabric_sim(), cfg_.host.trace);
+  }
+
+  fabric_ = engine_ != nullptr
+                ? std::make_unique<net::ClosFabric>(
+                      *engine_, cfg_.topology,
+                      [this](int h, net::Packet p) { dispatch(h, std::move(p)); })
+                : std::make_unique<net::ClosFabric>(
+                      sim_, cfg_.topology,
+                      [this](int h, net::Packet p) { dispatch(h, std::move(p)); });
 
   // Receiver stacks first, then (optional) sender stacks, then the
   // serving transports -- a fixed fork order so equal seeds reproduce
   // bitwise, and so the K=1 transport-only case forks exactly like the
   // legacy Experiment (mem, remote mem, receiver, senders 0..M-1).
-  const HostFactory factory(sim_);
+  // Construction is always single-threaded; in parallel mode each
+  // host's components simply schedule on its partition simulator, so
+  // the fork order (and hence every RNG stream) is thread-count
+  // independent.
   groups_.reserve(static_cast<std::size_t>(receivers_));
   for (int r = 0; r < receivers_; ++r) {
     const trace::Tracer::ScopedPrefix prefix(tracer_.get(), trace::host_prefix(r));
+    const HostFactory factory(host_sim(r));
     ReceiverGroup group;
     group.host = factory.make_full_host(cfg_.host, senders_per_receiver_, rng_, tracer_.get());
     groups_.push_back(std::move(group));
@@ -56,6 +75,7 @@ ClusterExperiment::ClusterExperiment(ClusterConfig cfg)
     for (int s = 0; s < senders_per_receiver_; ++s) {
       const int g = receivers_ + s;
       const trace::Tracer::ScopedPrefix prefix(tracer_.get(), trace::host_prefix(g));
+      const HostFactory factory(host_sim(g));
       sender_stacks_.push_back(
           factory.make_full_host(cfg_.host, senders_per_receiver_, rng_, tracer_.get()));
     }
@@ -70,7 +90,7 @@ ClusterExperiment::ClusterExperiment(ClusterConfig cfg)
       const trace::Tracer::ScopedPrefix prefix(tracer_.get(), trace::host_prefix(g));
       sender_ports_[static_cast<std::size_t>(s)].push_back(
           std::make_unique<transport::SenderHost>(
-              sim_, s, cfg_.host.wire,
+              host_sim(g), s, cfg_.host.wire,
               [this, g, r](net::Packet p) {
                 p.dst = r;
                 return fabric_->send_from_host(g, std::move(p));
@@ -79,8 +99,17 @@ ClusterExperiment::ClusterExperiment(ClusterConfig cfg)
       group.senders.push_back(sender_ports_[static_cast<std::size_t>(s)].back().get());
     }
     for (std::int32_t flow = 0; flow < recv.num_flows(); ++flow) {
-      group.senders[static_cast<std::size_t>(recv.sender_of_flow(flow))]->add_flow(
-          flow, make_congestion_control(sim_, cfg_.host, tracer_.get()));
+      const int s = recv.sender_of_flow(flow);
+      const int g = receivers_ + s;
+      // In parallel mode the controller's shared transport.* histograms
+      // are prefixed per sender machine: flows on different machines
+      // observe from different partitions, and host<g>.transport.* keeps
+      // every histogram single-writer (legacy runs keep the shared
+      // catalog names).
+      const trace::Tracer::ScopedPrefix prefix(
+          tracer_.get(), engine_ != nullptr ? trace::host_prefix(g) : "");
+      group.senders[static_cast<std::size_t>(s)]->add_flow(
+          flow, make_congestion_control(host_sim(g), cfg_.host, tracer_.get()));
     }
     recv.set_transmit([this, r](net::Packet p) {
       // `p.sender` is the receiver-local sender index the packet is
@@ -115,16 +144,27 @@ ClusterExperiment::ClusterExperiment(ClusterConfig cfg)
     });
   }
 
-  sim_.set_watchdog(cfg_.host.watchdog);
+  if (engine_ != nullptr) {
+    // Watchdogs guard each partition independently (deterministic per
+    // partition); the engine stops the whole run at the barrier after
+    // any trips.
+    for (int p = 0; p < engine_->partitions(); ++p) {
+      engine_->sim(p).set_watchdog(cfg_.host.watchdog);
+    }
+  } else {
+    sim_.set_watchdog(cfg_.host.watchdog);
+  }
 
   // Last on purpose, exactly like Experiment: the engine forks the
-  // cluster RNG after every component has taken its stream.
+  // cluster RNG after every component has taken its stream. Fault
+  // injectors mutate cross-partition state mid-window, so validate()
+  // rejects faults + parallelism >= 1; this path is legacy-only.
   if (!cfg_.faults.empty()) {
     fault::FaultTargets targets;
     targets.clos = fabric_.get();
     targets.receiver = groups_[0].host.receiver.get();
     targets.antagonist = groups_[0].host.antagonist.get();
-    fault_engine_ = std::make_unique<fault::FaultEngine>(sim_, cfg_.faults, targets,
+    fault_engine_ = std::make_unique<fault::FaultEngine>(fabric_sim(), cfg_.faults, targets,
                                                          rng_.fork(), tracer_.get());
   }
 }
@@ -145,7 +185,7 @@ void ClusterExperiment::dispatch(int host, net::Packet p) {
 HostHarvestSources ClusterExperiment::harvest_sources(int r) const {
   const ReceiverGroup& group = groups_[static_cast<std::size_t>(r)];
   HostHarvestSources src;
-  src.sim = &sim_;
+  src.sim = &host_sim(r);
   src.receiver = group.host.receiver.get();
   src.mem = group.host.mem.get();
   src.remote_mem = group.host.remote_mem.get();
@@ -159,12 +199,31 @@ HostHarvestSources ClusterExperiment::harvest_sources(int r) const {
 void ClusterExperiment::start() {
   if (started_) return;
   started_ = true;
-  if (tracer_ != nullptr) tracer_->start();
+  if (tracer_ != nullptr) {
+    // Parallel mode samples from the window-barrier hook instead of a
+    // PeriodicTask (a mid-window sample would read partitions that are
+    // executing); barrier instants are thread-count independent, so
+    // trace output stays bitwise deterministic.
+    tracer_->start(/*arm_sampler=*/engine_ == nullptr);
+    next_sample_ = fabric_sim().now() + tracer_->params().sample_period;
+  }
   for (auto& group : groups_) group.host.receiver->start();
 }
 
+void ClusterExperiment::on_barrier() {
+  if (tracer_ == nullptr || !started_) return;
+  if (engine_->now() >= next_sample_) {
+    tracer_->sample_now();
+    // One sample per barrier, stamped at the barrier time; catch up the
+    // schedule if a window spanned several periods.
+    while (next_sample_ <= engine_->now()) {
+      next_sample_ = next_sample_ + tracer_->params().sample_period;
+    }
+  }
+}
+
 void ClusterExperiment::begin_window() {
-  window_start_time_ = sim_.now();
+  window_start_time_ = fabric_sim().now();
   fabric_window_start_ = fabric_->fabric_drops();
   for (int r = 0; r < receivers_; ++r) {
     ReceiverGroup& group = groups_[static_cast<std::size_t>(r)];
@@ -196,11 +255,35 @@ ClusterMetrics ClusterExperiment::snapshot() const {
     cm.events_executed = cm.per_receiver[0].events_executed;
     cm.simulated_seconds = cm.per_receiver[0].simulated_seconds;
   }
+  if (engine_ != nullptr) {
+    // Run-global figures span every partition; per-receiver Metrics
+    // carry the same run-global values (matching the legacy contract
+    // that events_executed/run_status are not per-host quantities).
+    cm.partitions = engine_->partitions();
+    cm.parallel_windows = engine_->windows();
+    cm.parallel_messages = engine_->messages_delivered();
+    cm.events_executed = engine_->executed_total();
+    const int fa = engine_->first_aborted_partition();
+    if (fa >= 0) {
+      cm.run_status = to_run_status(engine_->sim(fa).abort_cause());
+    }
+    for (Metrics& m : cm.per_receiver) {
+      m.events_executed = cm.events_executed;
+      m.run_status = cm.run_status;
+      if (fa >= 0) m.run_status_detail = engine_->sim(fa).abort_reason();
+    }
+  }
   return cm;
 }
 
 ClusterMetrics ClusterExperiment::run() {
   start();
+  if (engine_ != nullptr) {
+    engine_->run_until(cfg_.host.warmup);
+    begin_window();
+    engine_->run_until(cfg_.host.warmup + cfg_.host.measure);
+    return snapshot();
+  }
   sim_.run_until(cfg_.host.warmup);
   begin_window();
   sim_.run_until(cfg_.host.warmup + cfg_.host.measure);

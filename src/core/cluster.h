@@ -25,6 +25,14 @@
 // one receiver, and transport-only senders this is fork-for-fork the
 // legacy Experiment sequence, and the run reproduces its Metrics
 // bitwise (degenerate_cluster(), pinned by tests/cluster_test.cpp).
+//
+// Parallel execution (ClusterConfig::parallelism >= 1): the run is
+// partitioned onto a sim::ParallelEngine -- fabric interior in
+// partition 0, each host (its FullHost, serving transports, and
+// uplink) in partition 1+h -- with construction order, RNG forks, and
+// per-partition event order all independent of the thread count, so
+// every parallelism >= 1 value yields bitwise-identical results. The
+// full model and its invariants are documented in docs/PARALLELISM.md.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +46,7 @@
 #include "fault/engine.h"
 #include "fault/script.h"
 #include "net/topology.h"
+#include "sim/parallel.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
 #include "transport/sender_host.h"
@@ -61,6 +70,17 @@ struct ClusterConfig {
   /// Cluster-level fault script; net.* events accept `leaf=`+`spine=`
   /// (a leaf-spine link) or `host=` (a host uplink) targeting.
   fault::FaultScript faults;
+  /// Engine worker threads. 0 (default) keeps the legacy single
+  /// Simulator. >= 1 partitions the run onto a sim::ParallelEngine --
+  /// partition 0 the fabric interior, partition 1+h host h -- with the
+  /// edge-link propagation delay as the conservative lookahead and
+  /// this many threads executing windows. The value changes wall-clock
+  /// time only: any parallelism >= 1 produces bitwise-identical
+  /// metrics/trace/sweep output (docs/PARALLELISM.md; pinned by
+  /// tests/parallel_test.cpp). Requires edge_propagation > 0 and an
+  /// empty fault script (validate(); fault injectors mutate
+  /// cross-partition state mid-window).
+  int parallelism = 0;
 };
 
 /// The degenerate one-leaf mapping of a legacy single-receiver config:
@@ -85,6 +105,11 @@ struct ClusterMetrics {
   RunStatus run_status = RunStatus::kOk;
   std::uint64_t events_executed = 0;
   double simulated_seconds = 0.0;
+  /// Parallel-engine accounting; all zero in legacy (parallelism=0)
+  /// runs. Thread-count invariant: equal for any parallelism >= 1.
+  int partitions = 0;
+  std::uint64_t parallel_windows = 0;
+  std::uint64_t parallel_messages = 0;
 };
 
 /// One fully-wired multi-host simulation instance; run() may be
@@ -109,7 +134,10 @@ class ClusterExperiment {
   /// Snapshot of current metrics relative to the last begin_window().
   [[nodiscard]] ClusterMetrics snapshot() const;
 
-  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  /// The fabric-partition simulator (the only one in legacy mode).
+  [[nodiscard]] sim::Simulator& simulator() { return fabric_sim(); }
+  /// Null unless config().parallelism >= 1.
+  [[nodiscard]] sim::ParallelEngine* engine() { return engine_.get(); }
   /// Null unless config().host.trace.enabled. Per-host component
   /// probes appear under host_prefix(h); see docs/OBSERVABILITY.md.
   [[nodiscard]] trace::Tracer* tracer() { return tracer_.get(); }
@@ -132,10 +160,32 @@ class ClusterExperiment {
 
   void dispatch(int host, net::Packet p);
   [[nodiscard]] HostHarvestSources harvest_sources(int r) const;
+  /// Coordinator-side work at each engine window barrier (trace
+  /// sampling at deterministic barrier instants).
+  void on_barrier();
+
+  /// Partition-0 simulator in parallel mode, the lone sim_ otherwise.
+  [[nodiscard]] sim::Simulator& fabric_sim() {
+    return engine_ != nullptr ? engine_->sim(net::ClosFabric::kFabricPartition) : sim_;
+  }
+  [[nodiscard]] const sim::Simulator& fabric_sim() const {
+    return engine_ != nullptr ? engine_->sim(net::ClosFabric::kFabricPartition) : sim_;
+  }
+  /// Host h's partition simulator in parallel mode, sim_ otherwise.
+  [[nodiscard]] sim::Simulator& host_sim(int h) {
+    return engine_ != nullptr ? engine_->sim(net::ClosFabric::host_partition(h)) : sim_;
+  }
+  [[nodiscard]] const sim::Simulator& host_sim(int h) const {
+    return engine_ != nullptr ? engine_->sim(net::ClosFabric::host_partition(h)) : sim_;
+  }
 
   ClusterConfig cfg_;
   Rng rng_;
   sim::Simulator sim_;
+  /// Present iff cfg_.parallelism >= 1.
+  std::unique_ptr<sim::ParallelEngine> engine_;
+  /// Next trace-sample instant for barrier-driven sampling.
+  TimePs next_sample_{};
   int receivers_ = 0;
   int senders_per_receiver_ = 0;
   std::unique_ptr<trace::Tracer> tracer_;

@@ -85,6 +85,16 @@ HostCounterSnapshot snapshot_host_counters(const HostHarvestSources& src,
   return s;
 }
 
+RunStatus to_run_status(sim::AbortCause cause) {
+  switch (cause) {
+    case sim::AbortCause::kNone: return RunStatus::kOk;
+    case sim::AbortCause::kEventBudget: return RunStatus::kEventBudget;
+    case sim::AbortCause::kTimestampStall: return RunStatus::kStalled;
+    case sim::AbortCause::kMailboxOverflow: return RunStatus::kMailboxOverflow;
+  }
+  return RunStatus::kOk;
+}
+
 Metrics harvest_host_window(const HostHarvestSources& src,
                             const HostCounterSnapshot& window_start,
                             TimePs window_start_time, std::int64_t fabric_drops_now) {
@@ -93,17 +103,7 @@ Metrics harvest_host_window(const HostHarvestSources& src,
   Metrics m;
   m.simulated_seconds = secs;
   m.events_executed = src.sim->executed();
-  switch (src.sim->abort_cause()) {
-    case sim::AbortCause::kNone:
-      m.run_status = RunStatus::kOk;
-      break;
-    case sim::AbortCause::kEventBudget:
-      m.run_status = RunStatus::kEventBudget;
-      break;
-    case sim::AbortCause::kTimestampStall:
-      m.run_status = RunStatus::kStalled;
-      break;
-  }
+  m.run_status = to_run_status(src.sim->abort_cause());
   m.run_status_detail = src.sim->abort_reason();
   if (src.fault_engine != nullptr) {
     const fault::FaultReport fr = src.fault_engine->report();

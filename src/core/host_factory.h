@@ -98,6 +98,11 @@ struct HostHarvestSources {
 [[nodiscard]] std::unique_ptr<transport::CongestionControl> make_congestion_control(
     sim::Simulator& sim, const ExperimentConfig& cfg, trace::Tracer* tracer);
 
+/// Maps a simulator abort cause to the run-status Metrics reports --
+/// shared by harvest_host_window and ClusterExperiment's parallel-mode
+/// status aggregation.
+[[nodiscard]] RunStatus to_run_status(sim::AbortCause cause);
+
 /// Reads the current cumulative counters. `fabric_drops` is passed in
 /// because its scope differs by caller: the whole fabric for the
 /// legacy Experiment, the host's own ports for a cluster receiver.

@@ -15,21 +15,25 @@
 
 namespace hicc {
 
-/// How a run ended. Anything but kOk means a Simulator watchdog
-/// stopped the run early; the Metrics harvested are still valid for
-/// the simulated time that elapsed (simulated_seconds tells how much).
+/// How a run ended. Anything but kOk means a Simulator watchdog (or,
+/// for kMailboxOverflow, the parallel engine) stopped the run early;
+/// the Metrics harvested are still valid for the simulated time that
+/// elapsed (simulated_seconds tells how much).
 enum class RunStatus : std::uint8_t {
   kOk,
-  kEventBudget,   // watchdog: max_events exhausted
-  kStalled,       // watchdog: no time progress (self-rescheduling loop)
+  kEventBudget,      // watchdog: max_events exhausted
+  kStalled,          // watchdog: no time progress (self-rescheduling loop)
+  kMailboxOverflow,  // parallel engine: cross-partition mailbox bound hit
 };
 
-/// Short machine-stable label ("ok" / "event_budget" / "stalled").
+/// Short machine-stable label ("ok" / "event_budget" / "stalled" /
+/// "mailbox_overflow").
 [[nodiscard]] inline const char* to_string(RunStatus status) {
   switch (status) {
     case RunStatus::kOk: return "ok";
     case RunStatus::kEventBudget: return "event_budget";
     case RunStatus::kStalled: return "stalled";
+    case RunStatus::kMailboxOverflow: return "mailbox_overflow";
   }
   return "unknown";
 }

@@ -321,6 +321,21 @@ std::vector<ConfigViolation> validate(const ClusterConfig& cfg) {
             "receiver count must be in [1, num_hosts=" + std::to_string(topo.num_hosts()) +
                 "), leaving at least one sender machine");
 
+  // Parallel execution (docs/PARALLELISM.md): the conservative engine
+  // needs a positive lookahead (the edge propagation delay), and fault
+  // injectors are incompatible (they mutate cross-partition link/host
+  // state mid-window from the fabric partition).
+  c.require(cfg.parallelism >= 0, "parallelism",
+            "parallelism must be >= 0 (0 = legacy single-simulator run)");
+  if (cfg.parallelism >= 1) {
+    c.require(topo.edge_propagation > TimePs(0), "topology.edge_propagation",
+              "parallel runs need edge_propagation > 0: it is the engine's "
+              "conservative lookahead window");
+    c.require(cfg.faults.empty(), "faults",
+              "fault scripts are not supported with parallelism >= 1 "
+              "(injectors mutate cross-partition state mid-window)");
+  }
+
   // The per-host template, as ClusterExperiment will actually run it:
   // num_senders overridden by the topology, the legacy fault script
   // ignored in favor of cfg.faults.

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "net/packet.h"
+#include "sim/parallel.h"
 #include "sim/simulator.h"
 
 namespace hicc::net {
@@ -55,10 +56,24 @@ class QueuedLink {
     const TimePs start = std::max(busy_until_, sim_.now());
     busy_until_ = start + rate_.time_to_send(p.wire);
     const Bytes wire = p.wire;
-    sim_.at(busy_until_ + propagation_, [this, wire, p = std::move(p)]() mutable {
-      queued_ -= wire;
-      deliver_(std::move(p));
-    });
+    const TimePs arrival = busy_until_ + propagation_;
+    if (engine_ == nullptr) {
+      sim_.at(arrival, [this, wire, p = std::move(p)]() mutable {
+        queued_ -= wire;
+        deliver_(std::move(p));
+      });
+    } else {
+      // Cross-partition link: occupancy release stays home (queued_ is
+      // src-partition state), delivery is mailed to the destination
+      // partition. propagation_ >= the engine lookahead guarantees the
+      // conservative contract (arrival lands at or after the window
+      // end). The mailed closure reads only deliver_, which is
+      // immutable after construction -- the one cross-thread access,
+      // and a data-race-free one.
+      sim_.at(arrival, [this, wire] { queued_ -= wire; });
+      engine_->post(src_partition_, dst_partition_, arrival,
+                    [this, p = std::move(p)]() mutable { deliver_(std::move(p)); });
+    }
     return true;
   }
 
@@ -89,6 +104,18 @@ class QueuedLink {
   /// event stream) are unchanged. Counter must outlive the link.
   void set_drop_total(std::int64_t* total) { drop_total_ = total; }
 
+  /// Marks this link as crossing partitions in a ParallelEngine run:
+  /// every send() keeps its queue/serialization bookkeeping in the
+  /// owning (src) partition but mails the delivery to `dst` via
+  /// engine->post(). Requires propagation >= the engine lookahead.
+  /// Call before the run starts; src must be the partition whose
+  /// events invoke send() on this link.
+  void set_cross_partition(sim::ParallelEngine* engine, int src, int dst) {
+    engine_ = engine;
+    src_partition_ = src;
+    dst_partition_ = dst;
+  }
+
  private:
   void record_drop() {
     ++drops_;
@@ -104,6 +131,9 @@ class QueuedLink {
   Bytes queued_{};
   std::int64_t drops_ = 0;
   std::int64_t* drop_total_ = nullptr;
+  sim::ParallelEngine* engine_ = nullptr;
+  int src_partition_ = 0;
+  int dst_partition_ = 0;
   bool down_ = false;
   double loss_prob_ = 0.0;
   Rng* loss_rng_ = nullptr;

@@ -32,6 +32,7 @@
 #include "common/units.h"
 #include "net/link.h"
 #include "net/packet.h"
+#include "sim/parallel.h"
 #include "sim/simulator.h"
 
 namespace hicc::net {
@@ -65,40 +66,29 @@ struct TopologyConfig {
 /// by leaf (host h sits under leaf h / hosts_per_leaf).
 class ClosFabric {
  public:
+  /// Canonical partition layout for ParallelEngine runs: the fabric
+  /// interior (leaf/spine links + host downlinks) is partition 0, host
+  /// h (its FullHost, serving senders, and uplink) is partition 1+h.
+  static constexpr int kFabricPartition = 0;
+  [[nodiscard]] static constexpr int host_partition(int h) { return h + 1; }
+
   /// `deliver(h, p)` is invoked for every packet that survives to host
   /// h's downlink.
   ClosFabric(sim::Simulator& sim, const TopologyConfig& cfg,
              sim::InlineCallback<void(int, Packet)> deliver)
       : cfg_(cfg), deliver_(std::move(deliver)) {
-    const auto hosts = static_cast<std::size_t>(cfg_.num_hosts());
-    host_up_.reserve(hosts);
-    host_down_.reserve(hosts);
-    for (int h = 0; h < cfg_.num_hosts(); ++h) {
-      const int leaf = cfg_.leaf_of(h);
-      host_up_.push_back(std::make_unique<QueuedLink>(
-          sim, cfg_.host_link_rate, cfg_.edge_propagation, cfg_.edge_buffer,
-          [this, leaf](Packet p) { at_leaf(leaf, std::move(p)); }));
-      host_down_.push_back(std::make_unique<QueuedLink>(
-          sim, cfg_.host_link_rate, cfg_.edge_propagation, cfg_.edge_buffer,
-          [this, h](Packet p) { deliver_(h, std::move(p)); }));
-    }
-    const auto pairs = static_cast<std::size_t>(cfg_.leaves * cfg_.spines);
-    leaf_up_.reserve(pairs);
-    spine_down_.reserve(pairs);
-    for (int l = 0; l < cfg_.leaves; ++l) {
-      for (int s = 0; s < cfg_.spines; ++s) {
-        leaf_up_.push_back(std::make_unique<QueuedLink>(
-            sim, cfg_.fabric_link_rate, cfg_.fabric_propagation, cfg_.fabric_buffer,
-            [this](Packet p) { at_spine(std::move(p)); }));
-        spine_down_.push_back(std::make_unique<QueuedLink>(
-            sim, cfg_.fabric_link_rate, cfg_.fabric_propagation, cfg_.fabric_buffer,
-            [this](Packet p) { to_host(std::move(p)); }));
-      }
-    }
-    for (auto& l : host_up_) l->set_drop_total(&drop_total_);
-    for (auto& l : host_down_) l->set_drop_total(&drop_total_);
-    for (auto& l : leaf_up_) l->set_drop_total(&drop_total_);
-    for (auto& l : spine_down_) l->set_drop_total(&drop_total_);
+    build(sim, nullptr);
+  }
+
+  /// Partitioned construction: each host h's uplink lives on (and is
+  /// sent into from) engine.sim(host_partition(h)); everything else
+  /// lives on engine.sim(kFabricPartition). Edge links are marked
+  /// cross-partition, so their deliveries ride the engine mailboxes;
+  /// the event stream is otherwise identical to the serial fabric.
+  ClosFabric(sim::ParallelEngine& engine, const TopologyConfig& cfg,
+             sim::InlineCallback<void(int, Packet)> deliver)
+      : cfg_(cfg), deliver_(std::move(deliver)) {
+    build(engine.sim(kFabricPartition), &engine);
   }
 
   ClosFabric(const ClosFabric&) = delete;
@@ -121,10 +111,16 @@ class ClosFabric {
     return static_cast<int>(splitmix64(state) % static_cast<std::uint64_t>(cfg_.spines));
   }
 
-  /// Total packets dropped inside the fabric, O(1): every port feeds
-  /// one running total at drop time (QueuedLink::set_drop_total), so
-  /// per-window snapshots never rescan the port list.
-  [[nodiscard]] std::int64_t fabric_drops() const { return drop_total_; }
+  /// Total packets dropped inside the fabric: fabric-owned ports feed
+  /// one running total at drop time (QueuedLink::set_drop_total), host
+  /// uplinks each feed a per-host slot so partitioned runs stay
+  /// single-writer -- the snapshot sums O(hosts) slots, never rescans
+  /// the full O(leaves*spines) port list.
+  [[nodiscard]] std::int64_t fabric_drops() const {
+    std::int64_t total = drop_total_;
+    for (const std::int64_t d : host_up_drop_totals_) total += d;
+    return total;
+  }
 
   /// Fabric drops charged to host `h`'s ports (its uplink + downlink);
   /// the per-receiver "all drops are host drops" check reads this.
@@ -160,6 +156,54 @@ class ClosFabric {
   [[nodiscard]] const TopologyConfig& config() const { return cfg_; }
 
  private:
+  void build(sim::Simulator& fabric_sim, sim::ParallelEngine* engine) {
+    const auto hosts = static_cast<std::size_t>(cfg_.num_hosts());
+    host_up_.reserve(hosts);
+    host_down_.reserve(hosts);
+    host_up_drop_totals_.assign(hosts, 0);
+    for (int h = 0; h < cfg_.num_hosts(); ++h) {
+      const int leaf = cfg_.leaf_of(h);
+      // The uplink is sent into by host h's transports, so it lives in
+      // (and keeps its queue state in) host h's partition.
+      sim::Simulator& host_sim =
+          engine != nullptr ? engine->sim(host_partition(h)) : fabric_sim;
+      host_up_.push_back(std::make_unique<QueuedLink>(
+          host_sim, cfg_.host_link_rate, cfg_.edge_propagation, cfg_.edge_buffer,
+          [this, leaf](Packet p) { at_leaf(leaf, std::move(p)); }));
+      host_down_.push_back(std::make_unique<QueuedLink>(
+          fabric_sim, cfg_.host_link_rate, cfg_.edge_propagation, cfg_.edge_buffer,
+          [this, h](Packet p) { deliver_(h, std::move(p)); }));
+      if (engine != nullptr) {
+        host_up_.back()->set_cross_partition(engine, host_partition(h),
+                                             kFabricPartition);
+        host_down_.back()->set_cross_partition(engine, kFabricPartition,
+                                               host_partition(h));
+      }
+    }
+    const auto pairs = static_cast<std::size_t>(cfg_.leaves * cfg_.spines);
+    leaf_up_.reserve(pairs);
+    spine_down_.reserve(pairs);
+    for (int l = 0; l < cfg_.leaves; ++l) {
+      for (int s = 0; s < cfg_.spines; ++s) {
+        leaf_up_.push_back(std::make_unique<QueuedLink>(
+            fabric_sim, cfg_.fabric_link_rate, cfg_.fabric_propagation,
+            cfg_.fabric_buffer, [this](Packet p) { at_spine(std::move(p)); }));
+        spine_down_.push_back(std::make_unique<QueuedLink>(
+            fabric_sim, cfg_.fabric_link_rate, cfg_.fabric_propagation,
+            cfg_.fabric_buffer, [this](Packet p) { to_host(std::move(p)); }));
+      }
+    }
+    // Drop totals: host uplinks write from their own partition, so each
+    // gets a private slot; everything else is fabric-partition-owned
+    // and shares one counter.
+    for (std::size_t h = 0; h < hosts; ++h) {
+      host_up_[h]->set_drop_total(&host_up_drop_totals_[h]);
+    }
+    for (auto& l : host_down_) l->set_drop_total(&drop_total_);
+    for (auto& l : leaf_up_) l->set_drop_total(&drop_total_);
+    for (auto& l : spine_down_) l->set_drop_total(&drop_total_);
+  }
+
   void at_leaf(int leaf, Packet p) {
     const int dst_leaf = cfg_.leaf_of(p.dst);
     if (dst_leaf == leaf) {
@@ -185,6 +229,8 @@ class ClosFabric {
   TopologyConfig cfg_;
   sim::InlineCallback<void(int, Packet)> deliver_;
   std::int64_t drop_total_ = 0;
+  /// One slot per host uplink (single-writer in partitioned runs).
+  std::vector<std::int64_t> host_up_drop_totals_;
   std::vector<std::unique_ptr<QueuedLink>> host_up_;    // host -> leaf
   std::vector<std::unique_ptr<QueuedLink>> host_down_;  // leaf -> host
   std::vector<std::unique_ptr<QueuedLink>> leaf_up_;    // [leaf][spine]

@@ -1,0 +1,175 @@
+// hicc-lint: hotpath -- window loop and mailbox drain run per barrier.
+#include "sim/parallel.h"
+
+#include <cassert>
+#include <utility>
+
+namespace hicc::sim {
+
+ParallelEngine::ParallelEngine(ParallelParams params)
+    : params_(params),
+      partitions_(params.partitions < 1 ? 1 : params.partitions),
+      threads_(params.threads < 1 ? 1 : params.threads) {
+  if (threads_ > partitions_) threads_ = partitions_;
+  assert((partitions_ == 1 || params_.lookahead > TimePs{}) &&
+         "multi-partition engine needs a positive lookahead");
+  sims_.reserve(static_cast<std::size_t>(partitions_));
+  for (int p = 0; p < partitions_; ++p) {
+    // hicc-lint: allow(hot-heap-alloc) -- construction only, one per partition.
+    sims_.push_back(std::make_unique<Simulator>());
+  }
+  outbox_.resize(static_cast<std::size_t>(partitions_) *
+                 static_cast<std::size_t>(partitions_));
+  merge_scratch_.reserve(64);
+  for (Mailbox& box : outbox_) box.msgs.reserve(16);
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ParallelEngine::claim_partitions(TimePs wend) {
+  for (;;) {
+    const int p = next_partition_.fetch_add(1, std::memory_order_relaxed);
+    if (p >= partitions_) return;
+    Simulator& s = *sims_[static_cast<std::size_t>(p)];
+    if (!s.aborted()) s.run_until(wend);
+  }
+}
+
+void ParallelEngine::worker_main() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    TimePs wend{};
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      wend = window_end_shared_;
+    }
+    claim_partitions(wend);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++idle_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ParallelEngine::run_window(TimePs wend) {
+  if (workers_.empty()) {
+    // Single-threaded: run partitions in index order on this thread.
+    for (auto& s : sims_) {
+      if (!s->aborted()) s->run_until(wend);
+    }
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    window_end_shared_ = wend;
+    next_partition_.store(0, std::memory_order_relaxed);
+    idle_workers_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  claim_partitions(wend);  // the coordinator is a worker too
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock,
+                [this] { return idle_workers_ == static_cast<int>(workers_.size()); });
+}
+
+void ParallelEngine::drain_mailboxes() {
+  const auto n = static_cast<std::size_t>(partitions_);
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    merge_scratch_.clear();
+    for (std::size_t src = 0; src < n; ++src) {
+      Mailbox& box = outbox_[src * n + dst];
+      if (box.msgs.size() > max_mailbox_depth_) max_mailbox_depth_ = box.msgs.size();
+      for (Message& m : box.msgs) {
+        merge_scratch_.push_back(
+            MergeEntry{m.time, static_cast<int>(src), m.seq, std::move(m.fn)});
+      }
+      box.msgs.clear();
+    }
+    if (merge_scratch_.empty()) continue;
+    // Canonical cross-partition order: (time, src partition, seq).
+    // (src, seq) pairs are unique, so this is a strict total order and
+    // plain sort is deterministic regardless of drain interleaving.
+    std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+              [](const MergeEntry& a, const MergeEntry& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.src != b.src) return a.src < b.src;
+                return a.seq < b.seq;
+              });
+    Simulator& target = *sims_[dst];
+    for (MergeEntry& e : merge_scratch_) {
+      ++messages_delivered_;
+      target.at(e.time, std::move(e.fn));
+    }
+    merge_scratch_.clear();
+  }
+}
+
+bool ParallelEngine::check_aborts() {
+  const auto n = static_cast<std::size_t>(partitions_);
+  // Mailbox overflow aborts the *posting* partition so run_status points
+  // at the source of the traffic, mirroring a watchdog trip there.
+  for (std::size_t src = 0; src < n; ++src) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      Mailbox& box = outbox_[src * n + dst];
+      if (!box.overflowed) continue;
+      box.overflowed = false;
+      Simulator& s = *sims_[src];
+      if (!s.aborted()) {
+        s.abort_run(AbortCause::kMailboxOverflow,
+                    "cross-partition mailbox exceeded capacity " +
+                        std::to_string(params_.mailbox_capacity));
+      }
+    }
+  }
+  for (int p = 0; p < partitions_; ++p) {
+    if (sims_[static_cast<std::size_t>(p)]->aborted()) {
+      if (first_aborted_ < 0) first_aborted_ = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ParallelEngine::run_until(TimePs end) {
+  // Deliver anything posted before the run (or between run_until calls).
+  drain_mailboxes();
+  while (now_ < end && !aborted()) {
+    TimePs wend = end;
+    if (partitions_ > 1) {
+      const TimePs next = now_ + params_.lookahead;
+      if (next < wend) wend = next;
+    }
+    window_end_ = wend;
+    run_window(wend);
+    now_ = wend;
+    ++windows_;
+    const bool stop = check_aborts();
+    drain_mailboxes();
+    if (barrier_hook_) barrier_hook_();
+    if (stop) break;
+  }
+}
+
+std::uint64_t ParallelEngine::executed_total() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sims_) total += s->executed();
+  return total;
+}
+
+}  // namespace hicc::sim

@@ -57,11 +57,22 @@ struct WatchdogParams {
   std::uint64_t max_events_per_timestamp = 0;
 };
 
-/// Why a watchdog stopped the run.
-enum class AbortCause : std::uint8_t { kNone, kEventBudget, kTimestampStall };
+/// Why a watchdog (or the parallel engine, via abort_run) stopped the
+/// run.
+enum class AbortCause : std::uint8_t {
+  kNone,
+  kEventBudget,
+  kTimestampStall,
+  /// A ParallelEngine cross-partition mailbox exceeded its bound
+  /// (sim/parallel.h); set through abort_run(), never by the Simulator
+  /// itself.
+  kMailboxOverflow,
+};
 
-/// The event loop. Single-threaded by design: one Simulator per
-/// experiment run; parallelism, when wanted, is across runs.
+/// The event loop. Single-threaded by design: one Simulator executes
+/// events on one thread. Parallelism is layered on top -- across runs
+/// (sweep/sweep.h) or across partitions of one run, each partition its
+/// own Simulator (sim/parallel.h) -- never inside the loop itself.
 class Simulator {
  public:
   using Action = InlineAction;
@@ -131,6 +142,16 @@ class Simulator {
   [[nodiscard]] AbortCause abort_cause() const { return abort_cause_; }
   /// Human-readable abort explanation; empty while not aborted.
   [[nodiscard]] const std::string& abort_reason() const { return abort_reason_; }
+
+  /// Aborts the run from outside the watchdogs -- the parallel engine
+  /// uses this to stop a partition whose cross-partition mailbox
+  /// overflowed. Same semantics as a watchdog trip: the engine refuses
+  /// further events, state stays readable, first cause wins.
+  void abort_run(AbortCause cause, std::string reason) {
+    if (aborted() || cause == AbortCause::kNone) return;
+    abort_cause_ = cause;
+    abort_reason_ = std::move(reason);
+  }
 
  private:
   // Calendar wheel geometry: kBuckets buckets of kBucketWidth

@@ -1,9 +1,9 @@
-// Across-run parallelism: the engine is single-threaded by design (one
-// Simulator per experiment), so sweeps over many ExperimentConfig
-// points are embarrassingly parallel. SweepRunner executes a vector of
-// configuration points on a fixed-size thread pool and collects
-// index-ordered results that are bitwise-identical to a serial run
-// regardless of worker count or completion order:
+// Across-run parallelism: each Simulator is single-threaded by design,
+// so sweeps over many ExperimentConfig points are embarrassingly
+// parallel. SweepRunner executes a vector of configuration points on a
+// fixed-size thread pool and collects index-ordered results that are
+// bitwise-identical to a serial run regardless of worker count or
+// completion order:
 //
 //   std::vector<hicc::ExperimentConfig> points = ...;
 //   hicc::sweep::SweepRunner runner;          // HICC_JOBS or hardware
@@ -14,6 +14,15 @@
 // point's seed is fixed before any worker starts: either the seed the
 // caller placed in the config, or -- with SweepOptions::reseed -- a
 // seed derived from (sweep_seed, point_index) via derive_seed().
+//
+// This is the ACROSS-run half of the two-level threading budget; the
+// WITHIN-run half is ClusterConfig::parallelism, which runs one cluster
+// experiment's partitions on a ParallelEngine pool (sim/parallel.h,
+// docs/PARALLELISM.md). The levels compose multiplicatively -- a sweep
+// of parallel cluster points uses up to jobs x parallelism threads --
+// so size $HICC_JOBS against the cores left over after the per-run
+// engines take theirs. Both levels carry the same contract: thread
+// count never changes results, only wall-clock time.
 #pragma once
 
 #include <cstdint>

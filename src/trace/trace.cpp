@@ -104,11 +104,13 @@ void Tracer::set_sink(TraceSink* sink) {
   if (sink_ != nullptr) sink_->begin(catalog_);
 }
 
-void Tracer::start() {
+void Tracer::start(bool arm_sampler) {
   if (started_) return;
   started_ = true;
   sample_now();
-  sampler_.emplace(sim_, params_.sample_period, [this] { sample_now(); });
+  if (arm_sampler) {
+    sampler_.emplace(sim_, params_.sample_period, [this] { sample_now(); });
+  }
 }
 
 void Tracer::sample_now() {

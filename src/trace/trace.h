@@ -213,8 +213,13 @@ class Tracer {
   void set_sink(TraceSink* sink);
 
   /// Emits a baseline sampling pass and arms the periodic sampler.
-  /// Idempotent; called by Experiment::start().
-  void start();
+  /// Idempotent; called by Experiment::start(). Partitioned cluster
+  /// runs pass arm_sampler=false: a PeriodicTask would sample
+  /// mid-window while other partitions are running, so
+  /// ClusterExperiment instead calls sample_now() from the engine's
+  /// barrier hook, where every partition is quiescent (deterministic
+  /// per-partition probe aggregation -- see docs/PARALLELISM.md).
+  void start(bool arm_sampler = true);
 
   /// Runs one sampling pass at the current simulated time.
   void sample_now();

@@ -1,0 +1,17 @@
+// Fixture: docs-par-knob (ParallelParams knobs vs docs/PARALLELISM.md
+// lockstep). The fixture doc documents `partitions` and `lookahead`
+// only, so `undocumented_knob` fires and `waived_knob` is suppressed.
+// hicc-lint: hotpath
+#pragma once
+
+namespace fixture {
+
+struct ParallelParams {
+  int partitions = 1;
+  long lookahead{};
+  int undocumented_knob = 0;  // line 12: docs-par-knob
+  // hicc-lint: allow(docs-par-knob) -- fixture demo of a waived knob
+  int waived_knob = 0;
+};
+
+}  // namespace fixture

@@ -40,12 +40,15 @@ class FixtureGoldens(unittest.TestCase):
                      "det-unordered-iter", "hot-std-function",
                      "hot-heap-alloc", "hot-vector-growth",
                      "hot-marker-missing", "layer-dag", "layer-trace-header",
-                     "docs-probe-undocumented", "docs-probe-dynamic"):
+                     "docs-probe-undocumented", "docs-probe-dynamic",
+                     "par-static-mutable", "par-engine-post",
+                     "docs-par-knob"):
             self.assertIn(rule + ":", golden, f"{rule} has no positive fixture")
         # ...and the suppressed twins stay out of it.
         for absent in ("wallclock_allowed", "config_hook", "pool.push_back",
                        "marker_suppressed", "nic.waived_probe",
-                       "trace/sinks_internal.h", "transport/swift.h"):
+                       "trace/sinks_internal.h", "transport/swift.h",
+                       "g_calibration_allowed", "waived_knob"):
             self.assertNotIn(absent, golden,
                              f"suppressed fixture '{absent}' leaked a finding")
 
@@ -107,7 +110,7 @@ class RealTree(unittest.TestCase):
         self.assertEqual(rc, 0)
         rules = set(out.split())
         families = {r.split("-")[0] for r in rules}
-        self.assertEqual(families, {"det", "hot", "layer", "docs"})
+        self.assertEqual(families, {"det", "hot", "layer", "docs", "par"})
 
 
 if __name__ == "__main__":

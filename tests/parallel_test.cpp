@@ -1,0 +1,474 @@
+// ParallelEngine: conservative windowed execution, canonical
+// cross-partition merge order, mailbox bounds, mid-window aborts, and
+// the cluster-level determinism contract -- any parallelism >= 1
+// produces bitwise-identical metrics/trace output regardless of the
+// worker-thread count (docs/PARALLELISM.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/validate.h"
+#include "fault/script.h"
+#include "sim/parallel.h"
+#include "sim/simulator.h"
+#include "sweep/sweep.h"
+#include "trace/trace.h"
+
+namespace hicc {
+namespace {
+
+using sim::ParallelEngine;
+using sim::ParallelParams;
+using sim::Simulator;
+
+ParallelParams params(int partitions, int threads) {
+  ParallelParams pp;
+  pp.partitions = partitions;
+  pp.threads = threads;
+  pp.lookahead = TimePs::from_us(2);
+  return pp;
+}
+
+// --------------------------------------------- serial degeneration
+
+// A deterministic self-rescheduling chain: each event advances an LCG
+// and reschedules itself with a hash-derived delay, so the final state
+// is a strict function of the executed event sequence.
+void schedule_chain(Simulator& s, std::uint64_t* state, int remaining) {
+  const auto delay = TimePs::from_ns(static_cast<double>(*state % 997 + 1));
+  s.after(delay, [&s, state, remaining] {
+    *state = *state * 6364136223846793005ULL + 1442695040888963407ULL;
+    if (remaining > 0) schedule_chain(s, state, remaining - 1);
+  });
+}
+
+// partitions=1 is the degenerate engine: one window per run_until, no
+// event splitting -- it must reproduce a raw Simulator bit for bit,
+// including across intermediate run_until boundaries.
+TEST(ParallelEngine, OnePartitionReproducesRawSimulatorBitwise) {
+  std::uint64_t raw_state = 42;
+  Simulator raw;
+  schedule_chain(raw, &raw_state, 300);
+  raw.run_until(TimePs::from_us(5));
+  raw.run_until(TimePs::from_us(50));
+
+  std::uint64_t par_state = 42;
+  ParallelEngine eng(params(1, 1));
+  schedule_chain(eng.sim(0), &par_state, 300);
+  eng.run_until(TimePs::from_us(5));
+  eng.run_until(TimePs::from_us(50));
+
+  EXPECT_EQ(par_state, raw_state);
+  EXPECT_EQ(eng.sim(0).executed(), raw.executed());
+  EXPECT_EQ(eng.executed_total(), raw.executed());
+  EXPECT_EQ(eng.sim(0).now(), raw.now());
+  EXPECT_EQ(eng.now(), raw.now());
+  EXPECT_FALSE(eng.aborted());
+}
+
+// ------------------------------------------------- window mechanics
+
+TEST(ParallelEngine, WindowCountFollowsLookaheadMath) {
+  ParallelEngine eng(params(2, 1));
+  eng.run_until(TimePs::from_us(10));  // lookahead 2us -> 5 windows
+  EXPECT_EQ(eng.windows(), 5u);
+  EXPECT_EQ(eng.now(), TimePs::from_us(10));
+  EXPECT_EQ(eng.sim(0).now(), TimePs::from_us(10));
+  EXPECT_EQ(eng.sim(1).now(), TimePs::from_us(10));
+
+  // A non-multiple end clips the last window instead of overshooting.
+  eng.run_until(TimePs::from_us(13));
+  EXPECT_EQ(eng.windows(), 7u);
+  EXPECT_EQ(eng.now(), TimePs::from_us(13));
+}
+
+TEST(ParallelEngine, BarrierHookFiresOncePerWindow) {
+  ParallelEngine eng(params(2, 2));
+  int barriers = 0;
+  eng.set_barrier_hook(sim::InlineAction([&barriers] { ++barriers; }));
+  eng.run_until(TimePs::from_us(6));
+  EXPECT_EQ(barriers, 3);
+}
+
+// --------------------------------------------- cross-partition merge
+
+// Runs the tie-merge scenario at a given thread count and returns the
+// order in which partition 0 observed the mailed events.
+std::vector<std::string> run_tie_merge(int threads) {
+  ParallelEngine eng(params(3, threads));
+  std::vector<std::string> order;
+  const TimePs fire = TimePs::from_us(4);
+  // Partition 2 posts two events and partition 1 one, all at the SAME
+  // destination timestamp -- the zero-delta cross-partition tie. The
+  // canonical merge (time, src partition, per-row seq) must order them
+  // src1 first, then src2 in posting order, on every thread count.
+  eng.sim(2).at(TimePs::from_us(1), [&eng, &order, fire] {
+    eng.post(2, 0, fire, [&order] { order.push_back("src2.first"); });
+    eng.post(2, 0, fire, [&order] { order.push_back("src2.second"); });
+  });
+  eng.sim(1).at(TimePs::from_us(1), [&eng, &order, fire] {
+    eng.post(1, 0, fire, [&order] { order.push_back("src1"); });
+  });
+  eng.run_until(TimePs::from_us(10));
+  EXPECT_EQ(eng.messages_delivered(), 3u);
+  return order;
+}
+
+TEST(ParallelEngine, SameTimestampCrossPartitionTiesMergeCanonically) {
+  const std::vector<std::string> expected{"src1", "src2.first", "src2.second"};
+  EXPECT_EQ(run_tie_merge(1), expected);
+  EXPECT_EQ(run_tie_merge(2), expected);
+  EXPECT_EQ(run_tie_merge(3), expected);
+}
+
+// A message may land exactly on the window boundary (the zero-delay
+// limit of the conservative contract: delivery == window end). Local
+// events already scheduled at that instant keep their earlier queue
+// sequence, so "local before mailed" is part of the deterministic
+// order.
+TEST(ParallelEngine, BoundaryTimestampDeliveryOrdersAfterLocalEvents) {
+  for (int threads : {1, 2}) {
+    ParallelEngine eng(params(2, threads));
+    std::vector<std::string> order;
+    const TimePs boundary = TimePs::from_us(2);  // == first window end
+    eng.sim(0).at(boundary, [&order] { order.push_back("local"); });
+    eng.sim(1).at(TimePs::from_us(1), [&eng, &order, boundary] {
+      eng.post(1, 0, boundary, [&order] { order.push_back("mailed"); });
+    });
+    eng.run_until(TimePs::from_us(4));
+    EXPECT_EQ(order, (std::vector<std::string>{"local", "mailed"})) << threads;
+  }
+}
+
+// ------------------------------------------------------ cancellation
+
+// Mailbox messages are fire-and-forget: the source cannot revoke one.
+// Cancellation is destination-local -- a mailed closure may cancel an
+// event that lives in the destination simulator, and revocable effects
+// gate on destination state. Both patterns must be thread-count
+// invariant.
+TEST(ParallelEngine, MailedClosureCancelsDestinationLocalEvent) {
+  for (int threads : {1, 2}) {
+    ParallelEngine eng(params(2, threads));
+    bool bomb_fired = false;
+    // Destination-local event, cancellable by its EventId.
+    const sim::EventId bomb =
+        eng.sim(0).at(TimePs::from_us(9), [&bomb_fired] { bomb_fired = true; });
+    // Partition 1 mails a disarm; it executes inside partition 0, where
+    // touching partition-0 state (including cancel) is legal.
+    eng.sim(1).at(TimePs::from_us(1), [&eng, bomb] {
+      eng.post(1, 0, TimePs::from_us(4), [&eng, bomb] { eng.sim(0).cancel(bomb); });
+    });
+    eng.run_until(TimePs::from_us(20));
+    EXPECT_FALSE(bomb_fired) << threads;
+  }
+}
+
+TEST(ParallelEngine, RevocableEffectGatesOnDestinationState) {
+  for (int threads : {1, 2}) {
+    ParallelEngine eng(params(2, threads));
+    bool cancelled = false;
+    bool fired = false;
+    eng.sim(1).at(TimePs::from_us(1), [&eng, &cancelled, &fired] {
+      // Two messages from the same source row: the "cancel" merges
+      // ahead of the "fire" (earlier time wins), so the effect is
+      // suppressed even though the fire was already in the mailbox
+      // when the cancel was posted.
+      eng.post(1, 0, TimePs::from_us(6), [&cancelled, &fired] {
+        if (!cancelled) fired = true;
+      });
+      eng.post(1, 0, TimePs::from_us(4), [&cancelled] { cancelled = true; });
+    });
+    eng.run_until(TimePs::from_us(10));
+    EXPECT_TRUE(cancelled) << threads;
+    EXPECT_FALSE(fired) << threads;
+  }
+}
+
+// ------------------------------------------------------------ aborts
+
+// A dense self-rescheduling chain (fixed 10ns period) that would run
+// forever; the watchdog must cut it off inside the first window.
+void schedule_dense_chain(Simulator& s, int* count) {
+  s.after(TimePs::from_ns(10), [&s, count] {
+    ++*count;
+    schedule_dense_chain(s, count);
+  });
+}
+
+TEST(ParallelEngine, WatchdogAbortMidWindowStopsAtTheBarrier) {
+  for (int threads : {1, 2}) {
+    ParallelEngine eng(params(2, threads));
+    sim::WatchdogParams wd;
+    wd.max_events = 5;
+    eng.sim(1).set_watchdog(wd);
+    int c0 = 0;
+    int c1 = 0;
+    schedule_dense_chain(eng.sim(0), &c0);
+    schedule_dense_chain(eng.sim(1), &c1);
+    eng.run_until(TimePs::from_us(10));
+
+    EXPECT_TRUE(eng.aborted()) << threads;
+    EXPECT_EQ(eng.first_aborted_partition(), 1) << threads;
+    EXPECT_EQ(eng.sim(1).abort_cause(), sim::AbortCause::kEventBudget) << threads;
+    EXPECT_EQ(eng.sim(1).executed(), 5u) << threads;
+    // The run stops at the first barrier after the trip: the healthy
+    // partition finishes that window and goes no further.
+    EXPECT_EQ(eng.now(), TimePs::from_us(2)) << threads;
+    EXPECT_EQ(eng.sim(0).now(), TimePs::from_us(2)) << threads;
+    EXPECT_EQ(eng.windows(), 1u) << threads;
+  }
+}
+
+TEST(ParallelEngine, MailboxOverflowAbortsTheSourcePartition) {
+  for (int threads : {1, 2}) {
+    ParallelParams pp = params(2, threads);
+    pp.mailbox_capacity = 4;
+    ParallelEngine eng(pp);
+    int delivered = 0;
+    eng.sim(1).at(TimePs::from_us(1), [&eng, &delivered] {
+      for (int i = 0; i < 10; ++i) {
+        eng.post(1, 0, TimePs::from_us(4), [&delivered] { ++delivered; });
+      }
+    });
+    eng.run_until(TimePs::from_us(10));
+
+    EXPECT_TRUE(eng.aborted()) << threads;
+    EXPECT_EQ(eng.first_aborted_partition(), 1) << threads;
+    EXPECT_EQ(eng.sim(1).abort_cause(), sim::AbortCause::kMailboxOverflow) << threads;
+    EXPECT_FALSE(eng.sim(1).abort_reason().empty()) << threads;
+    // The messages accepted before the bound hit are drained into the
+    // destination's queue (the accepted set is deterministic), but the
+    // run stops at the abort barrier before their 4us delivery time.
+    eng.run_until(TimePs::from_us(20));  // refuses to advance once aborted
+    EXPECT_EQ(eng.messages_delivered(), 4u) << threads;
+    EXPECT_EQ(eng.sim(0).pending(), 4u) << threads;
+    EXPECT_EQ(delivered, 0) << threads;
+    EXPECT_EQ(eng.max_mailbox_depth(), 4u) << threads;
+  }
+}
+
+TEST(ParallelEngine, CoordinatorPostsBeforeRunAreDelivered) {
+  ParallelEngine eng(params(2, 2));
+  int ran = 0;
+  eng.post(0, 1, TimePs::from_us(1), [&ran] { ++ran; });
+  eng.run_until(TimePs::from_us(4));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(eng.messages_delivered(), 1u);
+}
+
+// -------------------------------------------------- cluster parity
+
+ClusterConfig parallel_cluster(int parallelism) {
+  ClusterConfig cfg;
+  cfg.host.rx_threads = 2;
+  cfg.host.num_senders = 4;
+  cfg.host.warmup = TimePs::from_us(200);
+  cfg.host.measure = TimePs::from_us(500);
+  cfg.topology.leaves = 2;
+  cfg.topology.spines = 2;
+  cfg.topology.hosts_per_leaf = 4;
+  cfg.receivers = 2;
+  cfg.parallelism = parallelism;
+  return cfg;
+}
+
+void expect_bitwise_identical(const Metrics& a, const Metrics& b) {
+  EXPECT_EQ(a.app_throughput_gbps, b.app_throughput_gbps);
+  EXPECT_EQ(a.link_utilization, b.link_utilization);
+  EXPECT_EQ(a.drop_rate, b.drop_rate);
+  EXPECT_EQ(a.iotlb_misses_per_packet, b.iotlb_misses_per_packet);
+  EXPECT_EQ(a.memory.total_gbytes_per_sec, b.memory.total_gbytes_per_sec);
+  EXPECT_EQ(a.remote_memory.total_gbytes_per_sec, b.remote_memory.total_gbytes_per_sec);
+  EXPECT_EQ(a.host_delay_p50_us, b.host_delay_p50_us);
+  EXPECT_EQ(a.host_delay_p99_us, b.host_delay_p99_us);
+  EXPECT_EQ(a.host_delay_max_us, b.host_delay_max_us);
+  EXPECT_EQ(a.data_packets_sent, b.data_packets_sent);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.rto_fires, b.rto_fires);
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.nic_buffer_drops, b.nic_buffer_drops);
+  EXPECT_EQ(a.fabric_drops, b.fabric_drops);
+  EXPECT_EQ(a.iotlb_misses, b.iotlb_misses);
+  EXPECT_EQ(a.iotlb_lookups, b.iotlb_lookups);
+  EXPECT_EQ(a.pcie_translation_stalls, b.pcie_translation_stalls);
+  EXPECT_EQ(a.pcie_write_buffer_stalls, b.pcie_write_buffer_stalls);
+  EXPECT_EQ(a.hol_descriptor_stalls, b.hol_descriptor_stalls);
+  EXPECT_EQ(a.victim_reads, b.victim_reads);
+  EXPECT_EQ(a.victim_read_p99_us, b.victim_read_p99_us);
+  EXPECT_EQ(a.avg_cwnd, b.avg_cwnd);
+  EXPECT_EQ(a.simulated_seconds, b.simulated_seconds);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.run_status, b.run_status);
+}
+
+// Runs one traced parallel cluster and returns everything downstream
+// output is built from: the metrics, the full sample stream (what the
+// CSV/Chrome exporters serialize), and the harvested probe map (what
+// sweep JSON's extra.trace.* carries).
+struct TracedRun {
+  ClusterMetrics metrics;
+  std::vector<trace::RecordingSink::Sample> samples;
+  std::map<std::string, double> extra;
+};
+
+TracedRun run_traced_cluster(int parallelism) {
+  ClusterConfig cfg = parallel_cluster(parallelism);
+  cfg.host.trace.enabled = true;
+  TracedRun out;
+  trace::RecordingSink sink;
+  ClusterExperiment exp(cfg);
+  exp.tracer()->set_sink(&sink);
+  out.metrics = exp.run();
+  sweep::SweepResult r;
+  sweep::harvest_trace_probes(exp.tracer(), r);
+  exp.tracer()->finish();
+  out.samples = sink.samples();
+  out.extra = std::move(r.extra);
+  return out;
+}
+
+// THE determinism contract: the worker-thread count is a pure
+// wall-clock knob. parallelism=1 and parallelism=4 must agree bit for
+// bit on metrics, every trace sample, and the sweep-harvested probe
+// map -- events_executed included.
+TEST(ClusterParallelParity, ThreadCountIsBitwiseInvariant) {
+  const TracedRun one = run_traced_cluster(1);
+  const TracedRun four = run_traced_cluster(4);
+
+  ASSERT_EQ(one.metrics.per_receiver.size(), 2u);
+  ASSERT_EQ(four.metrics.per_receiver.size(), 2u);
+  for (std::size_t r = 0; r < one.metrics.per_receiver.size(); ++r) {
+    expect_bitwise_identical(one.metrics.per_receiver[r], four.metrics.per_receiver[r]);
+  }
+  EXPECT_EQ(one.metrics.events_executed, four.metrics.events_executed);
+  EXPECT_EQ(one.metrics.total_fabric_drops, four.metrics.total_fabric_drops);
+  EXPECT_EQ(one.metrics.partitions, four.metrics.partitions);
+  EXPECT_EQ(one.metrics.parallel_windows, four.metrics.parallel_windows);
+  EXPECT_EQ(one.metrics.parallel_messages, four.metrics.parallel_messages);
+
+  // Trace output, sample for sample (name, timestamp, value).
+  ASSERT_EQ(one.samples.size(), four.samples.size());
+  for (std::size_t i = 0; i < one.samples.size(); ++i) {
+    EXPECT_EQ(one.samples[i].probe, four.samples[i].probe);
+    EXPECT_EQ(one.samples[i].time, four.samples[i].time);
+    EXPECT_EQ(one.samples[i].value, four.samples[i].value) << one.samples[i].probe;
+  }
+
+  // Sweep-JSON probe harvest, key for key.
+  EXPECT_EQ(one.extra, four.extra);
+}
+
+TEST(ClusterParallelParity, SameSeedReproducesParallelRunsBitwise) {
+  ClusterConfig cfg = parallel_cluster(2);
+  ASSERT_TRUE(validate(cfg).empty()) << describe(validate(cfg));
+  ClusterExperiment a(cfg);
+  ClusterExperiment b(cfg);
+  const ClusterMetrics ma = a.run();
+  const ClusterMetrics mb = b.run();
+  ASSERT_EQ(ma.per_receiver.size(), mb.per_receiver.size());
+  for (std::size_t r = 0; r < ma.per_receiver.size(); ++r) {
+    expect_bitwise_identical(ma.per_receiver[r], mb.per_receiver[r]);
+  }
+  EXPECT_EQ(ma.events_executed, mb.events_executed);
+  EXPECT_GT(ma.partitions, 1);
+  EXPECT_GT(ma.parallel_windows, 0u);
+  EXPECT_GT(ma.parallel_messages, 0u);
+}
+
+// The parallel engine executes the same physical model: packet and
+// byte accounting must agree exactly with the legacy single-simulator
+// path (event counts differ -- cross-partition deliveries are split
+// events -- so events_executed is excluded here; the thread-count
+// parity above pins it within the parallel mode).
+TEST(ClusterParallelParity, ParallelAgreesWithLegacyOnPhysicalMetrics) {
+  ClusterConfig serial_cfg = parallel_cluster(0);
+  ClusterConfig par_cfg = parallel_cluster(2);
+  ClusterExperiment serial(serial_cfg);
+  ClusterExperiment parallel(par_cfg);
+  const ClusterMetrics ms = serial.run();
+  const ClusterMetrics mp = parallel.run();
+
+  ASSERT_EQ(ms.per_receiver.size(), mp.per_receiver.size());
+  for (std::size_t r = 0; r < ms.per_receiver.size(); ++r) {
+    const Metrics& a = ms.per_receiver[r];
+    const Metrics& b = mp.per_receiver[r];
+    EXPECT_EQ(a.app_throughput_gbps, b.app_throughput_gbps) << r;
+    EXPECT_EQ(a.link_utilization, b.link_utilization) << r;
+    EXPECT_EQ(a.drop_rate, b.drop_rate) << r;
+    EXPECT_EQ(a.data_packets_sent, b.data_packets_sent) << r;
+    EXPECT_EQ(a.delivered_packets, b.delivered_packets) << r;
+    EXPECT_EQ(a.nic_buffer_drops, b.nic_buffer_drops) << r;
+    EXPECT_EQ(a.fabric_drops, b.fabric_drops) << r;
+    EXPECT_EQ(a.retransmits, b.retransmits) << r;
+    EXPECT_EQ(a.rto_fires, b.rto_fires) << r;
+    EXPECT_EQ(a.avg_cwnd, b.avg_cwnd) << r;
+    EXPECT_EQ(a.host_delay_p50_us, b.host_delay_p50_us) << r;
+    EXPECT_EQ(a.host_delay_p99_us, b.host_delay_p99_us) << r;
+    EXPECT_EQ(a.host_delay_max_us, b.host_delay_max_us) << r;
+    EXPECT_EQ(a.iotlb_misses, b.iotlb_misses) << r;
+    EXPECT_EQ(a.iotlb_lookups, b.iotlb_lookups) << r;
+    EXPECT_EQ(a.pcie_translation_stalls, b.pcie_translation_stalls) << r;
+    EXPECT_EQ(a.pcie_write_buffer_stalls, b.pcie_write_buffer_stalls) << r;
+    EXPECT_EQ(a.hol_descriptor_stalls, b.hol_descriptor_stalls) << r;
+    EXPECT_EQ(a.victim_reads, b.victim_reads) << r;
+    EXPECT_EQ(a.victim_read_p99_us, b.victim_read_p99_us) << r;
+    EXPECT_EQ(a.memory.total_gbytes_per_sec, b.memory.total_gbytes_per_sec) << r;
+    EXPECT_EQ(a.simulated_seconds, b.simulated_seconds) << r;
+  }
+  EXPECT_EQ(ms.total_fabric_drops, mp.total_fabric_drops);
+  EXPECT_EQ(ms.run_status, RunStatus::kOk);
+  EXPECT_EQ(mp.run_status, RunStatus::kOk);
+}
+
+// ---------------------------------------------- probes & validation
+
+TEST(ClusterParallelTrace, TransportHistogramsArePerSenderMachine) {
+  ClusterConfig cfg = parallel_cluster(1);
+  cfg.receivers = 1;
+  cfg.host.trace.enabled = true;
+  ClusterExperiment exp(cfg);
+  ASSERT_NE(exp.tracer(), nullptr);
+  // Sender machines are hosts 1..7; their controllers observe from
+  // their own partitions, so the shared transport histograms become
+  // host<g>.-prefixed series (single-writer per partition)...
+  EXPECT_TRUE(exp.tracer()->find(trace::host_probe(1, "transport.rtt_us")).has_value());
+  EXPECT_TRUE(exp.tracer()->find(trace::host_probe(7, "transport.rtt_us")).has_value());
+  EXPECT_FALSE(exp.tracer()->find("transport.rtt_us").has_value());
+  // ...while the legacy path keeps the shared catalog names.
+  ClusterConfig legacy = cfg;
+  legacy.parallelism = 0;
+  ClusterExperiment lexp(legacy);
+  EXPECT_TRUE(lexp.tracer()->find("transport.rtt_us").has_value());
+  EXPECT_FALSE(lexp.tracer()->find(trace::host_probe(1, "transport.rtt_us")).has_value());
+}
+
+TEST(ClusterParallelValidation, RejectsUnsupportedParallelConfigs) {
+  ClusterConfig cfg = parallel_cluster(2);
+  cfg.parallelism = -1;
+  std::set<std::string> fields;
+  for (const auto& v : validate(cfg)) fields.insert(v.field);
+  EXPECT_TRUE(fields.count("parallelism"));
+
+  cfg = parallel_cluster(2);
+  cfg.topology.edge_propagation = TimePs(0);
+  fields.clear();
+  for (const auto& v : validate(cfg)) fields.insert(v.field);
+  EXPECT_TRUE(fields.count("topology.edge_propagation"));
+
+  cfg = parallel_cluster(2);
+  cfg.faults = fault::parse_script("net.loss@1ms,prob=0.05").script;
+  fields.clear();
+  for (const auto& v : validate(cfg)) fields.insert(v.field);
+  EXPECT_TRUE(fields.count("faults"));
+  // The same faults are fine without the engine.
+  cfg.parallelism = 0;
+  EXPECT_TRUE(validate(cfg).empty()) << describe(validate(cfg));
+}
+
+}  // namespace
+}  // namespace hicc
