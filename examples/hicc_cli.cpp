@@ -18,7 +18,15 @@
 // leaf/spine fabric (docs/TOPOLOGY.md) instead of the single-host
 // Experiment: the other flags describe each receiver host, and the
 // JSON record carries one hicc.sweep.v1 point per receiver.
+//
+// With --runs and --isolate the sweep runs under the crash-isolating
+// supervisor (docs/ROBUSTNESS.md): every point in its own
+// `hicc_cli --point-worker` subprocess with per-point timeout, bounded
+// retry, a resumable journal (--journal/--resume), and graceful
+// SIGINT/SIGTERM handling. Exit codes are documented in usage() and
+// shared with the worker (sweep/worker.h).
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,17 +35,33 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/table.h"
 #include "core/cluster.h"
 #include "core/experiment.h"
 #include "core/validate.h"
 #include "fault/script.h"
+#include "sweep/supervisor.h"
 #include "sweep/sweep.h"
+#include "sweep/worker.h"
 #include "trace/exporters.h"
 
 namespace {
 
 using hicc::TimePs;
+using hicc::sweep::kExitAborted;
+using hicc::sweep::kExitConfigInvalid;
+using hicc::sweep::kExitFaultParse;
+using hicc::sweep::kExitGiveUp;
+using hicc::sweep::kExitInterrupted;
+using hicc::sweep::kExitOk;
+using hicc::sweep::kExitUsage;
+
+/// Set by the SIGINT/SIGTERM handler; the supervisor polls it, kills
+/// in-flight workers, and returns with what the journal already holds.
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop(int) { g_stop = 1; }
 
 struct Flags {
   std::map<std::string, std::string> kv;
@@ -129,7 +153,36 @@ void usage() {
       "                     from --seed; prints each replica + mean/stddev\n"
       "  --jobs=N           sweep worker threads (default: $HICC_JOBS, else\n"
       "                     hardware concurrency)\n"
-      "  --json=PATH        write the sweep's structured record as JSON");
+      "  --json=PATH        write the sweep's structured record as JSON\n"
+      "crash isolation (docs/ROBUSTNESS.md; needs --runs):\n"
+      "  --isolate          run each point in its own worker subprocess so\n"
+      "                     a crashing/hanging/OOM-killed point is retried\n"
+      "                     and, on give-up, recorded with its failure\n"
+      "                     taxonomy instead of sinking the sweep. Records\n"
+      "                     pin wall_seconds to 0, so isolated sweep JSON\n"
+      "                     is bitwise deterministic\n"
+      "  --point-timeout=S  SIGKILL a worker running longer than S seconds\n"
+      "                     (wall clock; 0 = no timeout, the default)\n"
+      "  --retries=N        extra attempts per failed point (default 2),\n"
+      "                     with exponential backoff between attempts\n"
+      "  --backoff-ms=N     backoff base, milliseconds (default 200)\n"
+      "  --journal=PATH     append each finalized point durably to a\n"
+      "                     hicc.sweep.journal.v1 file as it completes\n"
+      "  --resume=PATH      skip the points already in PATH's journal and\n"
+      "                     append the rest (implies --isolate; the merged\n"
+      "                     JSON is bitwise identical to an uninterrupted\n"
+      "                     run). Give the same flags as the original run\n"
+      "  --inject-fail=I:M  testing aid: inject failure mode M into point\n"
+      "                     I's worker (segv|abort|kill|hang|exit:N|\n"
+      "                     flaky-segv:K|flaky-kill:K)\n"
+      "  --point-worker     internal: run one point read from stdin and\n"
+      "                     write its hicc.sweep.v1 record to stdout\n"
+      "exit codes:\n"
+      "  0 ok; 1 usage/IO error; 2 invalid configuration; 3 fault-script\n"
+      "  or spec parse error; 4 run finished degraded (run_status != ok);\n"
+      "  5 supervisor gave up on >= 1 point; 6 interrupted (SIGINT/\n"
+      "  SIGTERM; partial results + journal flushed); 127 worker exec\n"
+      "  failure");
 }
 
 void print_metrics(const hicc::Metrics& m) {
@@ -198,18 +251,18 @@ int run_topology(const Flags& flags, hicc::ExperimentConfig host_cfg,
   if (std::sscanf(spec.c_str(), "%dx%dx%d%c", &leaves, &spines, &hosts, &excess) != 3) {
     std::fprintf(stderr, "bad --topology=%s (want LEAVESxSPINESxHOSTS, e.g. 2x2x8)\n",
                  spec.c_str());
-    return 1;
+    return kExitConfigInvalid;
   }
   if (leaves <= 0 || hosts <= 0 || hosts % leaves != 0) {
     std::fprintf(stderr,
                  "bad --topology=%s: total hosts (%d) must divide evenly across "
                  "%d leaves\n",
                  spec.c_str(), hosts, leaves);
-    return 1;
+    return kExitConfigInvalid;
   }
   if (flags.number("runs", 0) > 0 || flags.number("timeline-us", 0) > 0) {
     std::fprintf(stderr, "--topology is a single cluster run; drop --runs/--timeline-us\n");
-    return 1;
+    return kExitUsage;
   }
 
   hicc::ClusterConfig cfg;
@@ -239,7 +292,7 @@ int run_topology(const Flags& flags, hicc::ExperimentConfig host_cfg,
     for (const auto& v : violations) {
       std::fprintf(stderr, "  %s: %s\n", v.field.c_str(), v.message.c_str());
     }
-    return 1;
+    return kExitConfigInvalid;
   }
 
   hicc::ClusterExperiment exp(std::move(cfg));
@@ -327,12 +380,124 @@ int run_topology(const Flags& flags, hicc::ExperimentConfig host_cfg,
       rc = 1;
     }
   }
+  // A degraded end (watchdog abort, mailbox overflow) outranks ok but
+  // not an output-file failure.
+  if (rc == 0 && cm.run_status != hicc::RunStatus::kOk) rc = kExitAborted;
+  return rc;
+}
+
+/// The --runs --isolate path: the sweep under the crash-isolating
+/// supervisor, each point a `hicc_cli --point-worker` subprocess.
+int run_isolated_sweep(const Flags& flags, const hicc::ExperimentConfig& cfg, int runs) {
+  std::vector<hicc::ExperimentConfig> points(static_cast<std::size_t>(runs), cfg);
+  // Same per-replica seed derivation as the in-process SweepRunner's
+  // reseed path, so isolated and in-process sweeps simulate the same
+  // points.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i].seed = hicc::derive_seed(cfg.seed, i);
+  }
+
+  hicc::sweep::SupervisorOptions opts;
+  opts.params.point_timeout_s = flags.number("point-timeout", 0.0);
+  opts.params.max_attempts = 1 + static_cast<int>(flags.number("retries", 2));
+  opts.params.backoff_base_s = flags.number("backoff-ms", 200.0) / 1e3;
+  opts.params.backoff_cap_s = std::max(opts.params.backoff_base_s, 5.0);
+  opts.params.jobs = static_cast<int>(flags.number("jobs", 0));
+  // The worker is this very binary; /proc/self/exe survives argv[0]
+  // being a bare name found via $PATH.
+  opts.worker_argv = {"/proc/self/exe", "--point-worker"};
+  opts.stop_flag = &g_stop;
+  opts.log = &std::cerr;
+
+  const std::string resume = flags.str("resume", "");
+  opts.journal_path = flags.str("journal", "");
+  if (!resume.empty()) {
+    if (!opts.journal_path.empty() && opts.journal_path != resume) {
+      std::fprintf(stderr, "--journal and --resume must name the same file\n");
+      return kExitUsage;
+    }
+    opts.journal_path = resume;
+    opts.resume = true;
+  }
+
+  const std::string inject = flags.str("inject-fail", "");
+  if (!inject.empty()) {
+    const auto colon = inject.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "bad --inject-fail=%s (want INDEX:MODE)\n", inject.c_str());
+      return kExitUsage;
+    }
+    const std::size_t target = static_cast<std::size_t>(std::atoll(inject.c_str()));
+    const std::string mode = inject.substr(colon + 1);
+    opts.decorate = [target, mode](std::size_t i) {
+      return i == target ? "inject=" + mode + "\n" : std::string();
+    };
+  }
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+
+  hicc::sweep::SupervisorOutcome outcome;
+  const hicc::sweep::Supervisor supervisor(opts);
+  try {
+    outcome = supervisor.run(points);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return kExitUsage;
+  }
+
+  hicc::Table t({"point", "status", "attempts", "detail"});
+  for (const auto& p : outcome.points) {
+    t.add_row({static_cast<std::int64_t>(p.index),
+               std::string(p.completed ? hicc::to_string(p.status) : "incomplete"),
+               static_cast<std::int64_t>(p.attempts), p.detail});
+  }
+  t.print(std::cout, 3);
+  std::printf("%zu/%d points completed (%zu resumed, %zu failed, %zu degraded) on %d "
+              "worker(s)\n",
+              outcome.completed, runs, outcome.resumed, outcome.failures, outcome.degraded,
+              supervisor.jobs());
+
+  int rc = kExitOk;
+  if (outcome.interrupted) {
+    rc = kExitInterrupted;
+    if (!opts.journal_path.empty()) {
+      std::printf("interrupted; finalized points are journaled -- rerun with "
+                  "--resume=%s to finish\n",
+                  opts.journal_path.c_str());
+    } else {
+      std::printf("interrupted (no --journal, completed points are lost)\n");
+    }
+  } else if (outcome.failures > 0) {
+    rc = kExitGiveUp;
+  } else if (outcome.degraded > 0) {
+    rc = kExitAborted;
+  }
+
+  const std::string json_path = flags.str("json", "");
+  if (!json_path.empty()) {
+    if (hicc::sweep::save_merged_json(outcome, json_path)) {
+      std::printf("(%ssweep record written to %s)\n",
+                  outcome.interrupted ? "partial " : "", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      if (rc == kExitOk) rc = kExitUsage;
+    }
+  }
   return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Worker mode first: the supervisor fork/execs this same binary with
+  // --point-worker; everything it needs arrives on stdin.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--point-worker") == 0) {
+      return hicc::sweep::run_point_worker(std::cin, std::cout, std::cerr);
+    }
+  }
+
   Flags flags;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -380,7 +545,7 @@ int main(int argc, char** argv) {
     if (!parsed.ok()) {
       std::fprintf(stderr, "invalid --faults spec:\n");
       for (const auto& err : parsed.errors) std::fprintf(stderr, "  %s\n", err.c_str());
-      return 1;
+      return kExitFaultParse;
     }
     cfg.faults = std::move(parsed.script);
   }
@@ -402,7 +567,7 @@ int main(int argc, char** argv) {
     cfg.cc = hicc::transport::CcAlgorithm::kSwift;
   } else {
     std::fprintf(stderr, "unknown --cc=%s (swift|tcp|host-signal)\n", cc.c_str());
-    return 1;
+    return kExitConfigInvalid;
   }
 
   // A --topology run validates and executes as a ClusterConfig; the
@@ -419,11 +584,15 @@ int main(int argc, char** argv) {
     for (const auto& v : violations) {
       std::fprintf(stderr, "  %s: %s\n", v.field.c_str(), v.message.c_str());
     }
-    return 1;
+    return kExitConfigInvalid;
   }
 
   const int runs = static_cast<int>(flags.number("runs", 0));
   if (runs > 0) {
+    // --resume implies isolation: only the supervisor journals points.
+    if (flags.flag("isolate", false) || !flags.str("resume", "").empty()) {
+      return run_isolated_sweep(flags, cfg, runs);
+    }
     std::vector<hicc::ExperimentConfig> points(static_cast<std::size_t>(runs), cfg);
     hicc::sweep::SweepOptions opts;
     opts.jobs = static_cast<int>(flags.number("jobs", 0));
@@ -503,6 +672,8 @@ int main(int argc, char** argv) {
     return close_trace() ? 0 : 1;
   }
 
-  print_metrics(exp.run());
-  return close_trace() ? 0 : 1;
+  const hicc::Metrics metrics = exp.run();
+  print_metrics(metrics);
+  if (!close_trace()) return 1;
+  return metrics.run_status == hicc::RunStatus::kOk ? kExitOk : kExitAborted;
 }

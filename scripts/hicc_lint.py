@@ -10,8 +10,10 @@ docs/STATIC_ANALYSIS.md for the full catalog and rationale):
 plus the module dependency DAG from DESIGN.md (`layer-*`), the
 parallel-engine concurrency contract from docs/PARALLELISM.md (`par-*`:
 no shared mutable statics under partition callbacks, cross-partition
-sends only via ParallelEngine::post()), and the docs lockstep (`docs-*`:
-probe catalog, ParallelParams knob catalog).
+sends only via ParallelEngine::post()), the robustness contract from
+docs/ROBUSTNESS.md (`rob-*`: process-exit primitives only at the
+sanctioned supervisor/worker seam), and the docs lockstep (`docs-*`:
+probe catalog, ParallelParams knob catalog, run_status taxonomy).
 
 Pure regex/token analysis over a comment-and-string-stripped view of
 each line -- no libclang, no compile step, runs in milliseconds on the
@@ -71,7 +73,7 @@ LAYER_DAG = {
              "transport", "fault"},
     "fault": {"sim", "trace", "net", "nic", "pcie", "iommu", "mem", "host",
               "transport"},
-    "sweep": {"sim", "trace", "core"},
+    "sweep": {"sim", "trace", "core", "fault"},
 }
 
 # Every C++ file under these src/ subdirs must carry the hotpath marker.
@@ -84,6 +86,16 @@ PROBE_DOCS = ("docs/OBSERVABILITY.md", "docs/FAULTS.md")
 # each appear in the concurrency-model doc.
 PAR_DOC = "docs/PARALLELISM.md"
 PAR_KNOB_FILE = "src/sim/parallel.h"
+
+# run_status labels (src/core/metrics.h to_string cases) must each
+# appear in the failure-taxonomy doc.
+ROB_DOC = "docs/ROBUSTNESS.md"
+RUN_STATUS_FILE = "src/core/metrics.h"
+
+# The only src/ files that may terminate the process: the point worker
+# (injected deaths, its exit-code contract) and the supervisor's
+# post-fork exec-failure path.
+ROB_EXIT_ALLOWED = ("src/sweep/worker.cpp", "src/sweep/supervisor.cpp")
 
 SUPPRESS_RE = re.compile(r"//\s*hicc-lint:\s*allow\(([^)]*)\)")
 SUPPRESS_FILE_RE = re.compile(r"//\s*hicc-lint:\s*allow-file\(([^)]*)\)")
@@ -545,6 +557,49 @@ def rule_par_engine_post(ctx):
                 "(docs/PARALLELISM.md)")
 
 
+ROB_EXIT_RE = re.compile(
+    r"(?<![\w:.>])(?:(?:std\s*::|::)\s*)?(_exit|quick_exit|exit|abort)\s*\(")
+RUN_STATUS_RE = re.compile(r'case\s+RunStatus::\w+\s*:\s*return\s*"([^"]+)"')
+
+
+def rule_rob_exit(ctx):
+    """Process-exit primitives only at the supervisor/worker seam.
+
+    A bare exit()/abort() anywhere else skips destructors, the sweep
+    journal's flush, and the failure taxonomy: the run dies instead of
+    being recorded. Library code reports failures through RunStatus or
+    exceptions; only the crash-isolation seam (ROB_EXIT_ALLOWED) may
+    legitimately kill the process.
+    """
+    if ctx.module() is None or ctx.path in ROB_EXIT_ALLOWED:
+        return
+    for i, line in enumerate(ctx.code, start=1):
+        for m in ROB_EXIT_RE.finditer(line):
+            yield ctx.finding(
+                i, m.start() + 1, "rob-exit",
+                f"'{m.group(1)}' terminates the process, bypassing "
+                "destructors and the sweep journal; report failures via "
+                "RunStatus/exceptions -- only the supervisor/worker seam "
+                "may exit (docs/ROBUSTNESS.md)")
+
+
+def rule_docs_run_status(ctx, rob_doc_text):
+    """Every run_status label must appear in docs/ROBUSTNESS.md."""
+    if ctx.path != RUN_STATUS_FILE:
+        return
+    for i, line in enumerate(ctx.raw, start=1):
+        m = RUN_STATUS_RE.search(line)
+        if not m:
+            continue
+        label = m.group(1)
+        if label not in rob_doc_text:
+            yield ctx.finding(
+                i, m.start(1) + 1, "docs-run-status",
+                f"run_status label '{label}' is not documented in "
+                f"{ROB_DOC}; the failure-taxonomy table and the enum "
+                "change together")
+
+
 def rule_docs_par_knob(ctx, par_doc_text):
     """Every ParallelParams knob must appear in docs/PARALLELISM.md."""
     if ctx.path != PAR_KNOB_FILE:
@@ -585,6 +640,7 @@ RULES_STANDALONE = [
     rule_layer_trace_header,
     rule_par_static_mutable,
     rule_par_engine_post,
+    rule_rob_exit,
 ]
 
 ALL_RULES = sorted(
@@ -592,7 +648,8 @@ ALL_RULES = sorted(
      "hot-marker-missing", "hot-std-function", "hot-heap-alloc",
      "hot-vector-growth", "layer-dag", "layer-trace-header",
      "docs-probe-undocumented", "docs-probe-dynamic",
-     "par-static-mutable", "par-engine-post", "docs-par-knob"])
+     "par-static-mutable", "par-engine-post", "docs-par-knob",
+     "rob-exit", "docs-run-status"])
 
 
 # --------------------------------------------------------------------
@@ -660,6 +717,12 @@ def main():
         with open(par_doc_path) as f:
             par_doc_text = f.read()
 
+    rob_doc_text = ""
+    rob_doc_path = os.path.join(root, ROB_DOC)
+    if os.path.exists(rob_doc_path):
+        with open(rob_doc_path) as f:
+            rob_doc_text = f.read()
+
     findings = []
     contexts = []
     for path in collect_files(args.paths):
@@ -678,6 +741,7 @@ def main():
             raw.extend(rule_fn(ctx))
         raw.extend(rule_docs_probe(ctx, docs_text))
         raw.extend(rule_docs_par_knob(ctx, par_doc_text))
+        raw.extend(rule_docs_run_status(ctx, rob_doc_text))
         findings.extend(f for f in raw if not ctx.allowed(f.line, f.rule))
 
     findings.sort(key=Finding.key)

@@ -38,6 +38,7 @@ ClusterExperiment::ClusterExperiment(ClusterConfig cfg)
     pp.partitions = 1 + cfg_.topology.num_hosts();
     pp.lookahead = cfg_.topology.edge_propagation;
     pp.threads = cfg_.parallelism;
+    if (cfg_.mailbox_capacity > 0) pp.mailbox_capacity = cfg_.mailbox_capacity;
     engine_ = std::make_unique<sim::ParallelEngine>(pp);
     engine_->set_barrier_hook(sim::InlineAction([this] { on_barrier(); }));
   }

@@ -81,6 +81,14 @@ struct ClusterConfig {
   /// empty fault script (validate(); fault injectors mutate
   /// cross-partition state mid-window).
   int parallelism = 0;
+  /// Per-(window, destination) cross-partition mailbox row bound for
+  /// parallelism >= 1; 0 keeps the engine default (1M messages,
+  /// sim/parallel.h). A run that posts more than this into one row in
+  /// one window aborts deterministically with
+  /// RunStatus::kMailboxOverflow -- the bound exists to turn a runaway
+  /// partition into a classified failure instead of unbounded memory
+  /// growth (docs/PARALLELISM.md, docs/ROBUSTNESS.md).
+  std::size_t mailbox_capacity = 0;
 };
 
 /// The degenerate one-leaf mapping of a legacy single-receiver config:

@@ -97,4 +97,27 @@ struct ExperimentConfig {
   trace::TraceParams trace;
 };
 
+/// Knobs of the crash-isolating sweep supervisor (sweep/supervisor.h,
+/// docs/ROBUSTNESS.md): how long one point's worker subprocess may
+/// run, how many attempts it gets, and how retry backoff grows. Lives
+/// in core so validate() can reject nonsensical values alongside the
+/// experiment config; the sweep layer consumes it.
+struct SupervisorParams {
+  /// Wall-clock budget per worker attempt, seconds; a worker still
+  /// running at the deadline is SIGKILLed and the attempt classified
+  /// `timed_out`. 0 disables the timeout.
+  double point_timeout_s = 0.0;
+  /// Total attempts per point (first try + retries), >= 1. A point
+  /// whose last attempt also fails is recorded `retries_exhausted`.
+  int max_attempts = 3;
+  /// Deterministic exponential backoff between attempts: attempt k+1
+  /// starts backoff_base_s * 2^(k-1) seconds after attempt k failed,
+  /// capped at backoff_cap_s. Base 0 retries immediately.
+  double backoff_base_s = 0.2;
+  double backoff_cap_s = 5.0;
+  /// Concurrent worker processes. <= 0 resolves like sweep --jobs:
+  /// $HICC_JOBS if set and positive, else hardware_concurrency().
+  int jobs = 0;
+};
+
 }  // namespace hicc

@@ -15,27 +15,59 @@
 
 namespace hicc {
 
-/// How a run ended. Anything but kOk means a Simulator watchdog (or,
-/// for kMailboxOverflow, the parallel engine) stopped the run early;
-/// the Metrics harvested are still valid for the simulated time that
-/// elapsed (simulated_seconds tells how much).
+/// How a run ended. Anything but kOk means the run was stopped or lost
+/// early: the first three non-ok values come from inside a simulation
+/// (a Simulator watchdog, or the parallel engine's mailbox bound) and
+/// leave Metrics valid for the simulated time that elapsed
+/// (simulated_seconds tells how much); the last four are the sweep
+/// supervisor's failure taxonomy (docs/ROBUSTNESS.md) for points whose
+/// crash-isolated worker process died -- their Metrics are zeroed
+/// because the worker never reported any.
 enum class RunStatus : std::uint8_t {
   kOk,
-  kEventBudget,      // watchdog: max_events exhausted
-  kStalled,          // watchdog: no time progress (self-rescheduling loop)
-  kMailboxOverflow,  // parallel engine: cross-partition mailbox bound hit
+  kEventBudget,       // watchdog: max_events exhausted
+  kStalled,           // watchdog: no time progress (self-rescheduling loop)
+  kMailboxOverflow,   // parallel engine: cross-partition mailbox bound hit
+  kCrashed,           // supervisor: worker died (signal / bad exit / no record)
+  kTimedOut,          // supervisor: worker exceeded the per-point timeout
+  kOomKilled,         // supervisor: worker SIGKILLed from outside (OOM killer)
+  kRetriesExhausted,  // supervisor: every allowed attempt failed
 };
 
 /// Short machine-stable label ("ok" / "event_budget" / "stalled" /
-/// "mailbox_overflow").
+/// "mailbox_overflow" / "crashed" / "timed_out" / "oom_killed" /
+/// "retries_exhausted"). These labels are the `run_status` field of
+/// every hicc.sweep.v1 record and journal entry; the taxonomy table in
+/// docs/ROBUSTNESS.md is kept in lockstep by the `docs-run-status`
+/// lint rule.
 [[nodiscard]] inline const char* to_string(RunStatus status) {
   switch (status) {
     case RunStatus::kOk: return "ok";
     case RunStatus::kEventBudget: return "event_budget";
     case RunStatus::kStalled: return "stalled";
     case RunStatus::kMailboxOverflow: return "mailbox_overflow";
+    case RunStatus::kCrashed: return "crashed";
+    case RunStatus::kTimedOut: return "timed_out";
+    case RunStatus::kOomKilled: return "oom_killed";
+    case RunStatus::kRetriesExhausted: return "retries_exhausted";
   }
   return "unknown";
+}
+
+/// Inverse of to_string(RunStatus): parses a label back into the enum
+/// (used when re-reading hicc.sweep.v1 records and journal entries).
+/// Returns false and leaves *out untouched on an unknown label.
+[[nodiscard]] inline bool run_status_from_string(const std::string& label, RunStatus* out) {
+  for (const RunStatus s :
+       {RunStatus::kOk, RunStatus::kEventBudget, RunStatus::kStalled,
+        RunStatus::kMailboxOverflow, RunStatus::kCrashed, RunStatus::kTimedOut,
+        RunStatus::kOomKilled, RunStatus::kRetriesExhausted}) {
+    if (label == to_string(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Measurement-window results of an Experiment::run().

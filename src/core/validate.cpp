@@ -355,6 +355,23 @@ std::vector<ConfigViolation> validate(const ClusterConfig& cfg) {
   return violations;
 }
 
+std::vector<ConfigViolation> validate(const SupervisorParams& params) {
+  std::vector<ConfigViolation> violations;
+  Checker c(&violations);
+  c.require(params.point_timeout_s >= 0.0, "supervisor.point_timeout_s",
+            "per-point timeout cannot be negative (0 disables it)");
+  c.require(std::isfinite(params.point_timeout_s), "supervisor.point_timeout_s",
+            "per-point timeout must be finite");
+  c.require(params.max_attempts >= 1, "supervisor.max_attempts",
+            "every point needs at least one attempt");
+  c.require(params.backoff_base_s >= 0.0 && std::isfinite(params.backoff_base_s),
+            "supervisor.backoff_base_s", "backoff base must be finite and >= 0");
+  c.require(params.backoff_cap_s >= params.backoff_base_s &&
+                std::isfinite(params.backoff_cap_s),
+            "supervisor.backoff_cap_s", "backoff cap must be finite and >= the base");
+  return violations;
+}
+
 std::string describe(const std::vector<ConfigViolation>& violations) {
   std::ostringstream os;
   for (std::size_t i = 0; i < violations.size(); ++i) {

@@ -38,6 +38,11 @@ struct ConfigViolation {
 /// `leaf=`+`spine=` or `host=` rather than the legacy `link=` index.
 [[nodiscard]] std::vector<ConfigViolation> validate(const ClusterConfig& cfg);
 
+/// Supervisor variant (sweep/supervisor.h): checks the per-point
+/// timeout/retry/backoff knobs. Violations use a "supervisor." field
+/// prefix so they read unambiguously next to experiment-config ones.
+[[nodiscard]] std::vector<ConfigViolation> validate(const SupervisorParams& params);
+
 /// Renders violations one per line as "field: message" (for CLI
 /// output and exception messages).
 [[nodiscard]] std::string describe(const std::vector<ConfigViolation>& violations);

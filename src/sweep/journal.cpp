@@ -1,0 +1,200 @@
+#include "sweep/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace hicc::sweep {
+namespace {
+
+constexpr char kMagic[] = "hicc.sweep.journal.v1";
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Newlines inside a detail would tear the line-oriented framing.
+std::string one_line(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+bool write_all(int fd, const std::string& bytes) {
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Parses `key=<uint>` at the front of `rest`, advancing past it.
+bool take_u64(std::string* rest, const char* key, std::uint64_t* out) {
+  const std::string prefix = std::string(key) + "=";
+  if (rest->rfind(prefix, 0) != 0) return false;
+  const char* begin = rest->c_str() + prefix.size();
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(begin, &end, 10);
+  if (errno != 0 || end == begin || (*end != ' ' && *end != '\0')) return false;
+  *out = v;
+  rest->erase(0, static_cast<std::size_t>(end - rest->c_str()) + (*end == ' ' ? 1 : 0));
+  return true;
+}
+
+/// Parses `key=<16 hex>` at the front of `rest`, advancing past it.
+bool take_hex64(std::string* rest, const char* key, std::uint64_t* out) {
+  const std::string prefix = std::string(key) + "=";
+  if (rest->rfind(prefix, 0) != 0) return false;
+  const char* begin = rest->c_str() + prefix.size();
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(begin, &end, 16);
+  if (errno != 0 || end != begin + 16 || (*end != ' ' && *end != '\0')) return false;
+  *out = v;
+  rest->erase(0, static_cast<std::size_t>(end - rest->c_str()) + (*end == ' ' ? 1 : 0));
+  return true;
+}
+
+/// Parses `key=<label>` (no spaces in the label) at the front.
+bool take_word(std::string* rest, const char* key, std::string* out) {
+  const std::string prefix = std::string(key) + "=";
+  if (rest->rfind(prefix, 0) != 0) return false;
+  const std::size_t space = rest->find(' ', prefix.size());
+  *out = rest->substr(prefix.size(),
+                      space == std::string::npos ? std::string::npos : space - prefix.size());
+  rest->erase(0, space == std::string::npos ? rest->size() : space + 1);
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool JournalWriter::open(const std::string& path, std::uint64_t fingerprint, bool resume) {
+  close();
+  const int flags = resume ? (O_WRONLY | O_APPEND) : (O_WRONLY | O_CREAT | O_TRUNC | O_APPEND);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) return false;
+  if (!resume) {
+    const std::string header = std::string(kMagic) + " fingerprint=" + hex16(fingerprint) + "\n";
+    if (!write_all(fd_, header) || ::fdatasync(fd_) != 0) {
+      close();
+      return false;
+    }
+  }
+  return true;
+}
+
+void JournalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool JournalWriter::append(const JournalEntry& entry) {
+  if (fd_ < 0) return false;
+  std::ostringstream frame;
+  frame << "point index=" << entry.index << " status=" << entry.status
+        << " attempts=" << entry.attempts << " bytes=" << entry.payload.size()
+        << " crc=" << hex16(fnv1a64(entry.payload)) << " detail=" << one_line(entry.detail)
+        << '\n'
+        << entry.payload << "\nend\n";
+  // One write so a crash tears at most this frame; fdatasync so a
+  // frame the parent saw complete survives the machine's page cache.
+  return write_all(fd_, frame.str()) && ::fdatasync(fd_) == 0;
+}
+
+bool JournalWriter::note(std::size_t index, int attempt, const std::string& outcome,
+                         const std::string& detail) {
+  if (fd_ < 0) return false;
+  std::ostringstream frame;
+  frame << "note index=" << index << " attempt=" << attempt << " outcome=" << outcome
+        << " detail=" << one_line(detail) << '\n';
+  return write_all(fd_, frame.str());
+}
+
+JournalContents read_journal(const std::string& path) {
+  JournalContents out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.error = "cannot open journal";
+    return out;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line.rfind(kMagic, 0) != 0) {
+    out.error = "not a hicc.sweep.journal.v1 file";
+    return out;
+  }
+  // Past "magic + space"; a bare-magic header fails the check below.
+  std::string rest = line.size() >= sizeof(kMagic) ? line.substr(sizeof(kMagic)) : "";
+  if (!take_hex64(&rest, "fingerprint", &out.fingerprint)) {
+    out.error = "journal header carries no fingerprint";
+    return out;
+  }
+
+  while (std::getline(in, line)) {
+    if (line.rfind("note ", 0) == 0) continue;  // diagnostics only
+    if (line.rfind("point ", 0) != 0) {
+      // Torn note/frame-header tail from a crash mid-append.
+      out.truncated = true;
+      break;
+    }
+    rest = line.substr(6);
+    JournalEntry e;
+    std::uint64_t index = 0, attempts = 0, bytes = 0, crc = 0;
+    if (!take_u64(&rest, "index", &index) || !take_word(&rest, "status", &e.status) ||
+        !take_u64(&rest, "attempts", &attempts) || !take_u64(&rest, "bytes", &bytes) ||
+        !take_hex64(&rest, "crc", &crc) || rest.rfind("detail=", 0) != 0) {
+      out.truncated = true;
+      break;
+    }
+    e.index = static_cast<std::size_t>(index);
+    e.attempts = static_cast<int>(attempts);
+    e.detail = rest.substr(7);
+
+    e.payload.resize(static_cast<std::size_t>(bytes));
+    in.read(e.payload.data(), static_cast<std::streamsize>(bytes));
+    if (static_cast<std::uint64_t>(in.gcount()) != bytes) {
+      out.truncated = true;  // payload cut short by the crash
+      break;
+    }
+    std::string after;  // the newline terminating the payload line
+    if (!std::getline(in, after) || !after.empty() || !std::getline(in, after) ||
+        after != "end") {
+      out.truncated = true;
+      break;
+    }
+    if (fnv1a64(e.payload) != crc) {
+      out.truncated = true;  // bytes landed but are not what was meant
+      break;
+    }
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace hicc::sweep

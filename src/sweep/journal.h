@@ -1,0 +1,90 @@
+// hicc.sweep.journal.v1 -- the crash-safe sweep journal
+// (docs/ROBUSTNESS.md).
+//
+// The supervisor appends one durable frame per *finalized* point (ok
+// or failure record) as it completes, so a sweep killed at any instant
+// -- including kill -9 mid-append -- can resume from the journal and
+// produce a merged JSON bitwise identical to an uninterrupted run.
+// Format, all line-oriented:
+//
+//   hicc.sweep.journal.v1 fingerprint=<16-hex-digit sweep fingerprint>
+//   note index=<i> attempt=<k> outcome=<label> detail=<rest of line>
+//   point index=<i> status=<label> attempts=<k> bytes=<n> crc=<16 hex> detail=<rest>
+//   <n payload bytes: the point's hicc.sweep.v1 element(s), verbatim>
+//   end
+//
+// `note` frames are informational (failed attempts); `point` frames
+// are the durable state. Each point frame is written with a single
+// O_APPEND write followed by fdatasync, and carries its payload byte
+// count plus an FNV-1a64 checksum, so the reader can detect and
+// discard a torn tail frame without losing the frames before it. The
+// fingerprint ties a journal to the exact sweep (specs) that wrote it;
+// --resume refuses a mismatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hicc::sweep {
+
+/// FNV-1a 64-bit over `bytes` -- stdlib-independent and stable across
+/// platforms; checksums journal payloads and fingerprints sweeps.
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& bytes);
+
+/// One journaled point: its position in the sweep, how it ended, and
+/// the exact hicc.sweep.v1 element bytes the merged JSON reuses
+/// verbatim on resume.
+struct JournalEntry {
+  std::size_t index = 0;
+  std::string status;   // run_status label of the point's outcome
+  int attempts = 1;     // worker launches the point consumed
+  std::string detail;   // one-line failure detail; "" on ok
+  std::string payload;  // element bytes (",\n    "-joined if several)
+};
+
+/// Everything read_journal() recovered.
+struct JournalContents {
+  std::uint64_t fingerprint = 0;
+  /// In append order. A duplicate index means a frame was re-written
+  /// (should not happen; last one wins downstream).
+  std::vector<JournalEntry> entries;
+  /// True when a torn/corrupt tail frame was discarded -- the normal
+  /// aftermath of killing the sweep mid-append, not an error.
+  bool truncated = false;
+  /// Non-empty when the file is unusable (missing/foreign header);
+  /// entries is empty then.
+  std::string error;
+};
+
+/// Appending writer. Not thread-safe; the supervisor is the single
+/// writer by construction.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter() { close(); }
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// resume=false truncates `path` and writes a fresh header;
+  /// resume=true opens an existing journal for appending (the caller
+  /// has already read and fingerprint-checked it). False on I/O error.
+  [[nodiscard]] bool open(const std::string& path, std::uint64_t fingerprint, bool resume);
+  void close();
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+
+  /// Appends one durable point frame (single write + fdatasync).
+  bool append(const JournalEntry& entry);
+  /// Appends an informational failed-attempt note (not fsynced; notes
+  /// are diagnostics, not state).
+  bool note(std::size_t index, int attempt, const std::string& outcome,
+            const std::string& detail);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Reads a journal back, tolerating a torn tail (see JournalContents).
+[[nodiscard]] JournalContents read_journal(const std::string& path);
+
+}  // namespace hicc::sweep

@@ -1,0 +1,132 @@
+// Crash-isolated sweep supervision (docs/ROBUSTNESS.md).
+//
+// Supervisor runs each sweep point in its own worker subprocess
+// (fork/exec of `worker_argv`, typically `hicc_cli --point-worker`):
+// the point spec goes to the worker's stdin, the hicc.sweep.v1 record
+// comes back on its stdout, and the parent enforces a per-point
+// wall-clock timeout and a bounded retry budget with deterministic
+// exponential backoff. A point that fails every attempt is *recorded*
+// -- a synthesized element carrying the failure taxonomy
+// (RunStatus::kCrashed / kTimedOut / kOomKilled / kRetriesExhausted
+// plus a detail string) -- instead of aborting the sweep; all other
+// points complete normally.
+//
+// With a journal_path, every finalized point is appended durably to a
+// hicc.sweep.journal.v1 file as it completes; resume=true restores
+// journaled points without re-running them. Because worker records pin
+// wall_seconds to 0 and failure records are synthesized
+// deterministically, the merged JSON of any interrupted-and-resumed
+// sweep -- including kill -9 of the supervisor itself -- is bitwise
+// identical to an uninterrupted run's.
+//
+// The in-process SweepRunner (sweep.h) remains the default sweep path;
+// this layer is opt-in via `hicc_cli --isolate` or direct use.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "sweep/sweep.h"
+
+namespace hicc::sweep {
+
+/// Final state of one supervised point.
+struct PointOutcome {
+  std::size_t index = 0;
+  /// The point's run_status: parsed from the worker's record when one
+  /// exists (kOk, or a degraded in-run status like kEventBudget /
+  /// kMailboxOverflow), else the supervisor's failure taxonomy.
+  RunStatus status = RunStatus::kOk;
+  std::string detail;       // one-line failure detail; "" when ok
+  int attempts = 0;         // worker launches consumed (0 when from_journal)
+  bool completed = false;   // a final record exists (ok or failure)
+  bool from_journal = false;  // restored by resume, not re-run
+  /// The point's hicc.sweep.v1 element bytes (",\n    "-joined when a
+  /// cluster point emitted one element per receiver).
+  std::string payload;
+};
+
+struct SupervisorOutcome {
+  std::vector<PointOutcome> points;  // index order, one per input point
+  bool interrupted = false;  // stop_flag fired; some points may be incomplete
+  std::size_t completed = 0;
+  /// Points that exhausted supervision (taxonomy statuses). Degraded
+  /// in-run aborts (watchdog, mailbox overflow) count separately: the
+  /// worker *did* report, so they are results, not supervision
+  /// failures -- but hicc_cli still exits kExitAborted on them.
+  std::size_t failures = 0;
+  std::size_t degraded = 0;
+  std::size_t resumed = 0;
+  [[nodiscard]] bool all_ok() const {
+    return !interrupted && failures == 0 && degraded == 0;
+  }
+};
+
+struct SupervisorOptions {
+  /// Timeout / retry / backoff / jobs knobs; rejected up front via
+  /// validate(const SupervisorParams&).
+  SupervisorParams params;
+  /// argv of the worker process. worker_argv[0] is exec'd verbatim and
+  /// must read a hicc.point.v1 spec on stdin and behave per
+  /// run_point_worker() (hicc_cli --point-worker, or a test binary
+  /// dispatching to itself).
+  std::vector<std::string> worker_argv;
+  /// Journal file ("" = none). With resume, it must already hold a
+  /// hicc.sweep.journal.v1 header whose fingerprint matches the specs.
+  std::string journal_path;
+  bool resume = false;
+  /// Polled between poll(2) wakeups; when it goes nonzero the
+  /// supervisor SIGKILLs in-flight workers, keeps everything already
+  /// journaled, and returns with interrupted=true (the CLI's
+  /// SIGINT/SIGTERM handler sets it).
+  const volatile std::sig_atomic_t* stop_flag = nullptr;
+  /// Fired once per finalized point (and once per resumed point up
+  /// front), in completion order, from the supervisor thread.
+  std::function<void(const SweepProgress&)> progress;
+  /// Extra spec lines appended to point i's spec at every attempt --
+  /// the failure-injection seam tests and CI use (`inject=...`).
+  std::function<std::string(std::size_t)> decorate;
+  /// Attempt-level notes ("point 3 attempt 1: crashed ..."); null = silent.
+  std::ostream* log = nullptr;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions opts);
+
+  /// Runs every point in a crash-isolated worker, like
+  /// SweepRunner::run but degrading gracefully instead of throwing.
+  /// Throws std::invalid_argument only for harness misuse: bad
+  /// SupervisorParams, empty worker_argv, or an unusable/mismatched
+  /// resume journal.
+  [[nodiscard]] SupervisorOutcome run(const std::vector<ExperimentConfig>& points) const;
+
+  /// Spec-level form: `specs[i]` is a complete hicc.point.v1 spec
+  /// (point_spec / cluster_point_spec). run() delegates here.
+  [[nodiscard]] SupervisorOutcome run_specs(const std::vector<std::string>& specs) const;
+
+  /// Concurrent worker processes this supervisor resolved.
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+ private:
+  SupervisorOptions opts_;
+  int jobs_;
+};
+
+/// Merges completed points (index order) into a hicc.sweep.v1 doc --
+/// bitwise identical to write_json over the same results, which is the
+/// resume guarantee. Incomplete points of an interrupted run are
+/// omitted (that partial doc is still schema-valid).
+void write_merged_json(const SupervisorOutcome& outcome, std::ostream& os);
+
+/// Convenience: writes merged JSON to `path`; false on I/O failure.
+[[nodiscard]] bool save_merged_json(const SupervisorOutcome& outcome,
+                                    const std::string& path);
+
+}  // namespace hicc::sweep

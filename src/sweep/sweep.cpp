@@ -278,25 +278,28 @@ void harvest_trace_probes(trace::Tracer* tracer, SweepResult& r) {
   }
 }
 
+void write_point(std::ostream& os, const SweepResult& r) {
+  JsonObject o(os, 4);
+  o.field("index", r.index);
+  o.field("wall_seconds", r.wall_seconds);
+  o.open("config");
+  write_config(os, r.config, 6);
+  o.open("metrics");
+  write_metrics(os, r.metrics, 6);
+  if (!r.extra.empty()) {
+    o.open("extra");
+    JsonObject e(os, 6);
+    for (const auto& [key, value] : r.extra) e.field(key.c_str(), value);
+    e.close();
+  }
+  o.close();
+}
+
 void write_json(const std::vector<SweepResult>& results, std::ostream& os) {
   os << "{\n  \"schema\": \"hicc.sweep.v1\",\n  \"points\": [";
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const SweepResult& r = results[i];
     os << (i == 0 ? "\n" : ",\n") << "    ";
-    JsonObject o(os, 4);
-    o.field("index", r.index);
-    o.field("wall_seconds", r.wall_seconds);
-    o.open("config");
-    write_config(os, r.config, 6);
-    o.open("metrics");
-    write_metrics(os, r.metrics, 6);
-    if (!r.extra.empty()) {
-      o.open("extra");
-      JsonObject e(os, 6);
-      for (const auto& [key, value] : r.extra) e.field(key.c_str(), value);
-      e.close();
-    }
-    o.close();
+    write_point(os, results[i]);
   }
   os << "\n  ]\n}\n";
 }

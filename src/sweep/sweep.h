@@ -117,6 +117,13 @@ void harvest_trace(Experiment& exp, SweepResult& r);
 /// (Distinct name so `probe = harvest_trace` stays unambiguous.)
 void harvest_trace_probes(trace::Tracer* tracer, SweepResult& r);
 
+/// Writes one point's JSON object element exactly as write_json emits
+/// it inside the "points" array (4-space object indent, no leading
+/// padding or separators). The supervisor's journal/merge path reuses
+/// this, which is what makes a resumed sweep's merged output bitwise
+/// identical to an uninterrupted write_json (docs/ROBUSTNESS.md).
+void write_point(std::ostream& os, const SweepResult& r);
+
 /// Writes results as structured JSON (schema "hicc.sweep.v1"): one
 /// entry per point with config, metrics, extra, and wall_seconds --
 /// the machine-diffable companion to the benches' CSV tables.

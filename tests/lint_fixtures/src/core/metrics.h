@@ -1,0 +1,19 @@
+// docs-run-status fixture: a to_string with one label missing from the
+// fixture docs/ROBUSTNESS.md, one documented, and one suppressed.
+#pragma once
+
+namespace hicc {
+
+enum class RunStatus { kOk, kNotInDocs, kWaived };
+
+inline const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kNotInDocs: return "not_in_docs";
+    // hicc-lint: allow(docs-run-status) -- fixture: label waived on purpose
+    case RunStatus::kWaived: return "waived_status";
+  }
+  return "ok";
+}
+
+}  // namespace hicc

@@ -1,0 +1,19 @@
+// rob-exit fixture: process-exit primitives outside the sanctioned
+// supervisor/worker seam, plus the suppressed twin that must stay
+// silent.
+#include <cstdlib>
+
+namespace hicc {
+
+int give_up_badly(bool failed) {
+  if (failed) exit(2);
+  if (failed) std::abort();
+  return 0;
+}
+
+void justified_harness_death() {
+  // hicc-lint: allow(rob-exit) -- fixture: documented harness-only exit
+  quick_exit(0);
+}
+
+}  // namespace hicc

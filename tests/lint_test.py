@@ -42,13 +42,14 @@ class FixtureGoldens(unittest.TestCase):
                      "hot-marker-missing", "layer-dag", "layer-trace-header",
                      "docs-probe-undocumented", "docs-probe-dynamic",
                      "par-static-mutable", "par-engine-post",
-                     "docs-par-knob"):
+                     "docs-par-knob", "rob-exit", "docs-run-status"):
             self.assertIn(rule + ":", golden, f"{rule} has no positive fixture")
         # ...and the suppressed twins stay out of it.
         for absent in ("wallclock_allowed", "config_hook", "pool.push_back",
                        "marker_suppressed", "nic.waived_probe",
                        "trace/sinks_internal.h", "transport/swift.h",
-                       "g_calibration_allowed", "waived_knob"):
+                       "g_calibration_allowed", "waived_knob",
+                       "quick_exit", "waived_status"):
             self.assertNotIn(absent, golden,
                              f"suppressed fixture '{absent}' leaked a finding")
 
@@ -110,7 +111,8 @@ class RealTree(unittest.TestCase):
         self.assertEqual(rc, 0)
         rules = set(out.split())
         families = {r.split("-")[0] for r in rules}
-        self.assertEqual(families, {"det", "hot", "layer", "docs", "par"})
+        self.assertEqual(families, {"det", "hot", "layer", "docs", "par",
+                                    "rob"})
 
 
 if __name__ == "__main__":
