@@ -41,6 +41,7 @@
 #include "core/experiment.h"
 #include "core/validate.h"
 #include "fault/script.h"
+#include "sweep/columnar.h"
 #include "sweep/supervisor.h"
 #include "sweep/sweep.h"
 #include "sweep/worker.h"
@@ -120,11 +121,36 @@ void usage() {
       "  --fabric-gbps=X    leaf-to-spine link rate (default 100)\n"
       "  --full-hosts=0|1   build quiescent full host stacks on sender\n"
       "                     machines (default 1)\n"
+      "  --antagonist-profile=A,B,...  per-receiver antagonist cores,\n"
+      "                     cycled across receivers (heterogeneous fleet);\n"
+      "                     overrides --antagonists on receiver hosts\n"
       "  --parallel=N       run the cluster on the partitioned engine with\n"
       "                     N threads (docs/PARALLELISM.md); 'auto' sizes\n"
       "                     the pool like --jobs, 0 keeps the serial path\n"
       "                     (default 0). Results are bitwise-identical for\n"
       "                     every N >= 1\n"
+      "open-loop workload (docs/WORKLOADS.md; needs --topology):\n"
+      "  --workload=PATTERN run receivers open loop: flows arrive by a\n"
+      "                     random process and retire through a recyclable\n"
+      "                     flow pool instead of the closed-loop read\n"
+      "                     pipeline. PATTERN: off|incast|uniform|\n"
+      "                     allreduce_ring|allreduce_tree (default off)\n"
+      "  --wl-rate=R        mean arrivals per receiver per second (1e5)\n"
+      "  --wl-arrival=A     poisson|bursty inter-arrival process (poisson)\n"
+      "  --wl-burst-factor=X    bursty: on-state rate multiplier (8)\n"
+      "  --wl-burst-on=F        bursty: fraction of time on (0.2)\n"
+      "  --wl-burst-period-us=N bursty: mean on+off cycle length (500)\n"
+      "  --wl-size=D        fixed|websearch|hadoop flow sizes (fixed)\n"
+      "  --wl-size-kb=N     flow size for --wl-size=fixed, KB (16)\n"
+      "  --wl-fanout=N      incast fan-out width (8)\n"
+      "  --wl-max-active=N  flow-pool slots per receiver -- the hard bound\n"
+      "                     on active flows and workload memory (4096)\n"
+      "  --wl-target-flows=N  stop injecting after N flows cluster-wide\n"
+      "                     (0 = unbounded, the default)\n"
+      "  --wl-sketch-error=A  FCT/slowdown/host-delay quantile-sketch\n"
+      "                     relative error bound, in (0, 0.5) (0.01)\n"
+      "  --columnar-out=PATH  also write the per-receiver record in the\n"
+      "                     compact columnar hicc.sweepc.v1 form\n"
       "faults (docs/FAULTS.md):\n"
       "  --faults=SPEC      schedule mid-run disturbances. SPEC is a ';'-\n"
       "                     separated list of kind@time[+dur][/period][,k=v...]\n"
@@ -277,6 +303,64 @@ int run_topology(const Flags& flags, hicc::ExperimentConfig host_cfg,
   cfg.topology.fabric_link_rate = hicc::BitRate::gbps(flags.number("fabric-gbps", 100));
   cfg.receivers = static_cast<int>(flags.number("receivers", 1));
   cfg.full_sender_hosts = flags.flag("full-hosts", true);
+  const std::string wl_pattern = flags.str("workload", "off");
+  if (!hicc::workload::pattern_from_string(wl_pattern.c_str(), &cfg.workload.pattern)) {
+    std::fprintf(stderr,
+                 "unknown --workload=%s (off|incast|uniform|allreduce_ring|"
+                 "allreduce_tree)\n",
+                 wl_pattern.c_str());
+    return kExitConfigInvalid;
+  }
+  const std::string wl_arrival = flags.str("wl-arrival", "poisson");
+  if (!hicc::workload::arrival_from_string(wl_arrival.c_str(), &cfg.workload.arrival)) {
+    std::fprintf(stderr, "unknown --wl-arrival=%s (poisson|bursty)\n", wl_arrival.c_str());
+    return kExitConfigInvalid;
+  }
+  const std::string wl_size = flags.str("wl-size", "fixed");
+  if (!hicc::workload::size_dist_from_string(wl_size.c_str(), &cfg.workload.size_dist)) {
+    std::fprintf(stderr, "unknown --wl-size=%s (fixed|websearch|hadoop)\n", wl_size.c_str());
+    return kExitConfigInvalid;
+  }
+  cfg.workload.rate_per_s = flags.number("wl-rate", cfg.workload.rate_per_s);
+  cfg.workload.burst_factor = flags.number("wl-burst-factor", cfg.workload.burst_factor);
+  cfg.workload.burst_on_fraction = flags.number("wl-burst-on", cfg.workload.burst_on_fraction);
+  cfg.workload.burst_period =
+      TimePs::from_us(flags.number("wl-burst-period-us", cfg.workload.burst_period.us()));
+  cfg.workload.fixed_size = hicc::Bytes(static_cast<std::int64_t>(
+      flags.number("wl-size-kb", static_cast<double>(cfg.workload.fixed_size.count()) / 1024.0) *
+      1024.0));
+  cfg.workload.fanout = static_cast<int>(flags.number("wl-fanout", cfg.workload.fanout));
+  cfg.workload.max_active =
+      static_cast<int>(flags.number("wl-max-active", cfg.workload.max_active));
+  cfg.workload.target_flows =
+      static_cast<std::int64_t>(flags.number("wl-target-flows", 0));
+  cfg.workload.sketch_relative_error =
+      flags.number("wl-sketch-error", cfg.workload.sketch_relative_error);
+  if (cfg.workload.enabled()) cfg.host.victim_flows = 0;
+  const std::string antag_profile = flags.str("antagonist-profile", "");
+  if (!antag_profile.empty()) {
+    // Comma-separated per-receiver antagonist core counts, repeated
+    // cyclically across receivers (heterogeneous-fleet modeling).
+    std::size_t pos = 0;
+    while (pos < antag_profile.size()) {
+      std::size_t used = 0;
+      int cores = 0;
+      try {
+        cores = std::stoi(antag_profile.substr(pos), &used);
+      } catch (...) {
+        used = 0;
+      }
+      if (used == 0) {
+        std::fprintf(stderr, "bad --antagonist-profile=%s (comma-separated core counts)\n",
+                     antag_profile.c_str());
+        return kExitConfigInvalid;
+      }
+      cfg.antagonist_profile.push_back(cores);
+      pos += used;
+      if (pos < antag_profile.size() && antag_profile[pos] == ',') ++pos;
+    }
+  }
+
   const std::string parallel = flags.str("parallel", "0");
   if (parallel == "auto") {
     // Same pool-sizing rule as sweep --jobs ($HICC_JOBS, then hardware
@@ -337,6 +421,21 @@ int run_topology(const Flags& flags, hicc::ExperimentConfig host_cfg,
                 cm.partitions, static_cast<unsigned long long>(cm.parallel_windows),
                 static_cast<unsigned long long>(cm.parallel_messages));
   }
+  if (cm.workload.enabled) {
+    std::printf("workload           %s/%s/%s: %lld started, %lld completed, %lld "
+                "pool-limited, %lld active\n",
+                hicc::workload::to_string(exp.config().workload.pattern),
+                hicc::workload::to_string(exp.config().workload.arrival),
+                hicc::workload::to_string(exp.config().workload.size_dist),
+                static_cast<long long>(cm.workload.flows_started),
+                static_cast<long long>(cm.workload.flows_completed),
+                static_cast<long long>(cm.workload.pool_exhausted),
+                static_cast<long long>(cm.workload.active_flows));
+    std::printf("flow completion    p50 %.1f / p99 %.1f / p99.9 %.1f us "
+                "(slowdown p99 %.2fx)\n",
+                cm.workload.fct_p50_us, cm.workload.fct_p99_us, cm.workload.fct_p999_us,
+                cm.workload.slowdown_p99);
+  }
   if (cm.run_status != hicc::RunStatus::kOk) {
     std::printf("run status         %s\n", hicc::to_string(cm.run_status));
   }
@@ -352,10 +451,13 @@ int run_topology(const Flags& flags, hicc::ExperimentConfig host_cfg,
   }
 
   const std::string json_path = flags.str("json", "");
-  if (!json_path.empty()) {
+  const std::string columnar_path = flags.str("columnar-out", "");
+  if (!json_path.empty() || !columnar_path.empty()) {
     // One hicc.sweep.v1 point per receiver host: the effective per-host
     // config, that receiver's Metrics, and extras carrying the host
     // index, its fabric-port state, and its slice of the trace probes.
+    // Workload runs add the cluster-merged sketch quantiles as
+    // workload.* extras (identical on every row by construction).
     std::vector<hicc::sweep::SweepResult> points(
         static_cast<std::size_t>(exp.num_receivers()));
     for (int r = 0; r < exp.num_receivers(); ++r) {
@@ -368,16 +470,41 @@ int run_topology(const Flags& flags, hicc::ExperimentConfig host_cfg,
           static_cast<double>(exp.fabric().host_port_drops(r));
       p.extra["cluster.port_queue_bytes"] =
           static_cast<double>(exp.fabric().host_queue(r).count());
+      if (cm.workload.enabled) {
+        p.extra["workload.flows_started"] = static_cast<double>(cm.workload.flows_started);
+        p.extra["workload.flows_completed"] =
+            static_cast<double>(cm.workload.flows_completed);
+        p.extra["workload.pool_exhausted"] = static_cast<double>(cm.workload.pool_exhausted);
+        p.extra["workload.active_flows"] = static_cast<double>(cm.workload.active_flows);
+        p.extra["workload.fct_p50_us"] = cm.workload.fct_p50_us;
+        p.extra["workload.fct_p99_us"] = cm.workload.fct_p99_us;
+        p.extra["workload.fct_p999_us"] = cm.workload.fct_p999_us;
+        p.extra["workload.slowdown_p50"] = cm.workload.slowdown_p50;
+        p.extra["workload.slowdown_p99"] = cm.workload.slowdown_p99;
+        p.extra["workload.slowdown_p999"] = cm.workload.slowdown_p999;
+        p.extra["workload.host_delay_p99_us"] = cm.workload.host_delay_p99_us;
+        p.extra["workload.host_delay_p999_us"] = cm.workload.host_delay_p999_us;
+      }
       for (const auto& [key, value] : probes.extra) {
         int h = -1;
         if (!host_scoped_probe(key, &h) || h == r) p.extra[key] = value;
       }
     }
-    if (hicc::sweep::save_json(points, json_path)) {
-      std::printf("(cluster record written to %s)\n", json_path.c_str());
-    } else {
-      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
-      rc = 1;
+    if (!json_path.empty()) {
+      if (hicc::sweep::save_json(points, json_path)) {
+        std::printf("(cluster record written to %s)\n", json_path.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+        rc = 1;
+      }
+    }
+    if (!columnar_path.empty()) {
+      if (hicc::sweep::save_columnar(points, columnar_path)) {
+        std::printf("(columnar record written to %s)\n", columnar_path.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", columnar_path.c_str());
+        rc = 1;
+      }
     }
   }
   // A degraded end (watchdog abort, mailbox overflow) outranks ok but

@@ -10,7 +10,9 @@ Both files are bench records written by a micro-bench binary's
 bench/BENCH_ENGINE.json), `hicc.bench.topology.v1` from
 bench/micro_topology (baseline bench/BENCH_TOPOLOGY.json), or
 `hicc.bench.parallel.v1` from bench/micro_parallel (baseline
-bench/BENCH_PARALLEL.json); see docs/PERFORMANCE.md. The two files must carry the same schema --
+bench/BENCH_PARALLEL.json), or `hicc.bench.workload.v1` from
+bench/micro_workload (baseline bench/BENCH_WORKLOAD.json); see
+docs/PERFORMANCE.md. The two files must carry the same schema --
 comparing an engine run against a topology baseline is a tooling
 mistake, not a regression.
 
@@ -47,6 +49,7 @@ SCHEMAS = {
     "hicc.bench.v1": "micro_engine",
     "hicc.bench.topology.v1": "micro_topology",
     "hicc.bench.parallel.v1": "micro_parallel",
+    "hicc.bench.workload.v1": "micro_workload",
 }
 EXIT_REGRESSION = 1
 EXIT_BAD_RECORD = 2

@@ -69,15 +69,17 @@ LAYER_DAG = {
     "nic": {"sim", "trace", "net", "iommu", "pcie"},
     "transport": {"sim", "trace", "net"},
     "host": {"sim", "trace", "net", "nic", "pcie", "iommu", "mem"},
+    "workload": {"sim", "trace", "net", "transport", "host"},
     "core": {"sim", "trace", "net", "nic", "pcie", "iommu", "mem", "host",
-             "transport", "fault"},
+             "transport", "fault", "workload"},
     "fault": {"sim", "trace", "net", "nic", "pcie", "iommu", "mem", "host",
               "transport"},
     "sweep": {"sim", "trace", "core", "fault"},
 }
 
 # Every C++ file under these src/ subdirs must carry the hotpath marker.
-HOTPATH_REQUIRED_DIRS = ("src/sim", "src/nic", "src/pcie", "src/iommu")
+HOTPATH_REQUIRED_DIRS = ("src/sim", "src/nic", "src/pcie", "src/iommu",
+                         "src/workload")
 
 # Probe names registered with a string literal must appear in these docs.
 PROBE_DOCS = ("docs/OBSERVABILITY.md", "docs/FAULTS.md")

@@ -1,0 +1,112 @@
+#include "common/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace hicc {
+namespace {
+
+// Value-domain ceiling: FCTs in microseconds, slowdowns, byte counts
+// all fit comfortably below 1e12 with the 1e-6 floor.
+constexpr double kMaxValue = 1e12;
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(double relative_error) {
+  alpha_ = std::clamp(relative_error, 1e-4, 0.499);
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  const double log_gamma = std::log(gamma_);
+  inv_log_gamma_ = 1.0 / log_gamma;
+  // Bucket i covers (gamma^(i-1), gamma^i]; the domain [min_value(),
+  // kMaxValue] maps to indices [min_index_, max_index].
+  min_index_ = static_cast<int>(std::ceil(std::log(min_value()) * inv_log_gamma_));
+  const int max_index = static_cast<int>(std::ceil(std::log(kMaxValue) * inv_log_gamma_));
+  counts_.assign(static_cast<std::size_t>(max_index - min_index_ + 1), 0);
+}
+
+int QuantileSketch::bucket_for(double value) const {
+  const int idx = static_cast<int>(std::ceil(std::log(value) * inv_log_gamma_));
+  return std::clamp(idx - min_index_, 0, static_cast<int>(counts_.size()) - 1);
+}
+
+double QuantileSketch::bucket_value(int bucket) const {
+  // DDSketch representative 2*gamma^i / (gamma + 1): the geometric
+  // point whose distance to either bucket edge is at most alpha
+  // relative.
+  const double i = static_cast<double>(bucket + min_index_);
+  return std::exp(i / inv_log_gamma_) * 2.0 / (gamma_ + 1.0);
+}
+
+void QuantileSketch::add(double value) {
+  if (total_ == 0) {
+    max_ = value;
+    min_ = value;
+  } else {
+    max_ = std::max(max_, value);
+    min_ = std::min(min_, value);
+  }
+  ++total_;
+  sum_ += value;
+  if (value <= min_value()) {
+    ++zero_count_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(bucket_for(value))];
+}
+
+bool QuantileSketch::merge(const QuantileSketch& other) {
+  if (!mergeable(other)) return false;
+  if (other.total_ == 0) return true;
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  zero_count_ += other.zero_count_;
+  if (total_ == 0) {
+    max_ = other.max_;
+    min_ = other.min_;
+  } else {
+    max_ = std::max(max_, other.max_);
+    min_ = std::min(min_, other.min_);
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+  return true;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total_ - 1);
+  std::int64_t seen = zero_count_;
+  if (static_cast<double>(seen) > rank) return 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b];
+    if (static_cast<double>(seen) > rank) return bucket_value(static_cast<int>(b));
+  }
+  return max_;
+}
+
+std::string QuantileSketch::encode() const {
+  std::string out = "hicc.sketch.v1|";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g|%lld|%lld|", alpha_,
+                static_cast<long long>(zero_count_), static_cast<long long>(total_));
+  out += buf;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%zu:%lld,", b, static_cast<long long>(counts_[b]));
+    out += buf;
+  }
+  return out;
+}
+
+std::uint64_t QuantileSketch::fingerprint() const {
+  const std::string bytes = encode();
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace hicc

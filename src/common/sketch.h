@@ -1,0 +1,108 @@
+// Mergeable streaming quantile sketch (DDSketch-style, log-bucketed)
+// for bounded-memory tail statistics over unbounded value streams:
+// flow completion times, slowdowns, host delays.
+//
+// Guarantee: for any quantile q, the reported value is within the
+// configured relative error alpha of the exact q-quantile of the
+// inserted values (for values inside [min_value(), max_value_bound()];
+// values at or below zero land in an explicit underflow bucket).
+//
+// Unlike LogHistogram (fixed ~2% buckets, double sum, no merge), the
+// sketch's accuracy is a constructor knob, its per-bucket state is
+// integer counts, and merge() is exact: merging two sketches equals
+// inserting both streams into one. Merges are associative and
+// commutative on the bucket counts, so per-host / per-partition
+// sketches combined in a fixed order are bitwise reproducible for any
+// thread or partition count (encode() is the canonical byte form the
+// determinism tests compare).
+//
+// Memory is O(log(domain) / alpha), fixed at construction: the add()
+// and merge() paths never allocate.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hicc {
+
+/// Log-bucketed quantile sketch with a relative-error contract.
+class QuantileSketch {
+ public:
+  /// `relative_error` (alpha) must be in (0, 0.5); 0.01 gives 1%
+  /// worst-case quantile error with ~2.1k buckets over the value
+  /// domain [1e-6, 1e12].
+  explicit QuantileSketch(double relative_error = 0.01);
+
+  /// Inserts one value. Values <= min_value() count in the underflow
+  /// bucket (reported as 0 by quantile()); values beyond the domain
+  /// ceiling clamp into the last bucket. Never allocates.
+  void add(double value);
+
+  /// Empties the sketch (measurement-window reset); geometry and
+  /// relative error are unchanged. Never allocates.
+  void reset() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    zero_count_ = 0;
+    total_ = 0;
+    sum_ = 0.0;
+    max_ = 0.0;
+    min_ = 0.0;
+  }
+
+  /// Exact distributed aggregation: after a.merge(b), a reports the
+  /// quantiles of both streams. Both sketches must share the same
+  /// relative error (mergeable() true); merging an incompatible
+  /// sketch is ignored and returns false. Never allocates.
+  bool merge(const QuantileSketch& other);
+  [[nodiscard]] bool mergeable(const QuantileSketch& other) const {
+    return counts_.size() == other.counts_.size() && min_index_ == other.min_index_;
+  }
+
+  /// q-quantile for q in [0, 1]; returns the bucket's representative
+  /// value (within alpha of exact), 0 on an empty sketch.
+  [[nodiscard]] double quantile(double q) const;
+  /// LogHistogram-style alias: percentile(99.9) == quantile(0.999).
+  [[nodiscard]] double percentile(double p) const { return quantile(p / 100.0); }
+
+  [[nodiscard]] std::int64_t count() const { return total_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+  [[nodiscard]] double max_seen() const { return total_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double min_seen() const { return total_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double relative_error() const { return alpha_; }
+  /// Smallest value with full relative-error resolution.
+  [[nodiscard]] static constexpr double min_value() { return 1e-6; }
+
+  /// Canonical byte form ("hicc.sketch.v1|alpha|zero|total|i:c,...":
+  /// sparse non-zero buckets in index order). Two sketches over the
+  /// same value stream encode identically regardless of how the stream
+  /// was partitioned and merged -- the bitwise-determinism probe.
+  [[nodiscard]] std::string encode() const;
+  /// FNV-1a hash of encode(), for cheap bitwise comparisons.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Bucket array accessors for tests and exporters.
+  [[nodiscard]] const std::vector<std::int64_t>& bucket_counts() const { return counts_; }
+  [[nodiscard]] std::int64_t underflow_count() const { return zero_count_; }
+
+ private:
+  [[nodiscard]] int bucket_for(double value) const;
+  [[nodiscard]] double bucket_value(int bucket) const;
+
+  double alpha_;
+  double inv_log_gamma_;
+  double gamma_;
+  int min_index_;  // bucket index of min_value()
+  std::vector<std::int64_t> counts_;
+  std::int64_t zero_count_ = 0;
+  std::int64_t total_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  double min_ = 0.0;
+};
+
+}  // namespace hicc

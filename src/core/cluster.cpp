@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "workload/engine.h"
+
 namespace hicc {
 
 ClusterConfig degenerate_cluster(const ExperimentConfig& cfg) {
@@ -63,12 +65,19 @@ ClusterExperiment::ClusterExperiment(ClusterConfig cfg)
   // host's components simply schedule on its partition simulator, so
   // the fork order (and hence every RNG stream) is thread-count
   // independent.
+  const bool open_loop = cfg_.workload.enabled();
   groups_.reserve(static_cast<std::size_t>(receivers_));
   for (int r = 0; r < receivers_; ++r) {
     const trace::Tracer::ScopedPrefix prefix(tracer_.get(), trace::host_prefix(r));
     const HostFactory factory(host_sim(r));
+    ExperimentConfig host_cfg = cfg_.host;
+    if (!cfg_.antagonist_profile.empty()) {
+      host_cfg.antagonist_cores = cfg_.antagonist_profile[static_cast<std::size_t>(r) %
+                                                          cfg_.antagonist_profile.size()];
+    }
     ReceiverGroup group;
-    group.host = factory.make_full_host(cfg_.host, senders_per_receiver_, rng_, tracer_.get());
+    group.host = factory.make_full_host(host_cfg, senders_per_receiver_, rng_, tracer_.get(),
+                                        open_loop, cfg_.workload.max_active);
     groups_.push_back(std::move(group));
   }
   if (cfg_.full_sender_hosts) {
@@ -99,18 +108,33 @@ ClusterExperiment::ClusterExperiment(ClusterConfig cfg)
               rng_.fork()));
       group.senders.push_back(sender_ports_[static_cast<std::size_t>(s)].back().get());
     }
-    for (std::int32_t flow = 0; flow < recv.num_flows(); ++flow) {
-      const int s = recv.sender_of_flow(flow);
-      const int g = receivers_ + s;
-      // In parallel mode the controller's shared transport.* histograms
-      // are prefixed per sender machine: flows on different machines
-      // observe from different partitions, and host<g>.transport.* keeps
-      // every histogram single-writer (legacy runs keep the shared
-      // catalog names).
-      const trace::Tracer::ScopedPrefix prefix(
-          tracer_.get(), engine_ != nullptr ? trace::host_prefix(g) : "");
-      group.senders[static_cast<std::size_t>(s)]->add_flow(
-          flow, make_congestion_control(host_sim(g), cfg_.host, tracer_.get()));
+    if (open_loop) {
+      // Dynamic flows: sender-side state is created lazily on the
+      // first read request for each slot (then reused by every later
+      // occupancy). Controllers skip per-flow trace probes -- factory
+      // creation happens mid-run, and probe registration must stay
+      // construction-time-only.
+      for (int s = 0; s < senders_per_receiver_; ++s) {
+        const int g = receivers_ + s;
+        group.senders[static_cast<std::size_t>(s)]->set_flow_factory(
+            [this, g](std::int32_t) {
+              return make_congestion_control(host_sim(g), cfg_.host, nullptr);
+            });
+      }
+    } else {
+      for (std::int32_t flow = 0; flow < recv.num_flows(); ++flow) {
+        const int s = recv.sender_of_flow(flow);
+        const int g = receivers_ + s;
+        // In parallel mode the controller's shared transport.* histograms
+        // are prefixed per sender machine: flows on different machines
+        // observe from different partitions, and host<g>.transport.* keeps
+        // every histogram single-writer (legacy runs keep the shared
+        // catalog names).
+        const trace::Tracer::ScopedPrefix prefix(
+            tracer_.get(), engine_ != nullptr ? trace::host_prefix(g) : "");
+        group.senders[static_cast<std::size_t>(s)]->add_flow(
+            flow, make_congestion_control(host_sim(g), cfg_.host, tracer_.get()));
+      }
     }
     recv.set_transmit([this, r](net::Packet p) {
       // `p.sender` is the receiver-local sender index the packet is
@@ -121,6 +145,32 @@ ClusterExperiment::ClusterExperiment(ClusterConfig cfg)
       p.sender = r;
       return fabric_->send_from_host(r, std::move(p));
     });
+  }
+
+  if (open_loop) {
+    // One arrival engine per receiver, forked in receiver order right
+    // after the transports (still ahead of the fault engine, which
+    // must stay last). Each engine lives on its receiver's partition
+    // simulator, so parallel runs stay bitwise deterministic.
+    workload_engines_.reserve(static_cast<std::size_t>(receivers_));
+    const std::int64_t target = cfg_.workload.target_flows;
+    for (int r = 0; r < receivers_; ++r) {
+      const trace::Tracer::ScopedPrefix prefix(tracer_.get(), trace::host_prefix(r));
+      workload::WorkloadEngine::Wiring w;
+      w.sim = &host_sim(r);
+      w.receiver = groups_[static_cast<std::size_t>(r)].host.receiver.get();
+      w.num_senders = senders_per_receiver_;
+      w.receiver_index = r;
+      w.target_flows =
+          target > 0 ? target / receivers_ + (r < target % receivers_ ? 1 : 0) : 0;
+      // Ideal-FCT baseline for slowdowns: the 4-hop propagation round
+      // trip plus size / host-link rate (docs/WORKLOADS.md).
+      w.base_rtt = TimePs(4 * (cfg_.topology.edge_propagation.ps() +
+                               cfg_.topology.fabric_propagation.ps()));
+      w.link_rate = cfg_.topology.host_link_rate;
+      workload_engines_.push_back(std::make_unique<workload::WorkloadEngine>(
+          cfg_.workload, w, rng_.fork(), tracer_.get()));
+    }
   }
 
   if (tracer_ != nullptr) {
@@ -209,6 +259,7 @@ void ClusterExperiment::start() {
     next_sample_ = fabric_sim().now() + tracer_->params().sample_period;
   }
   for (auto& group : groups_) group.host.receiver->start();
+  for (auto& engine : workload_engines_) engine->start();
 }
 
 void ClusterExperiment::on_barrier() {
@@ -232,6 +283,9 @@ void ClusterExperiment::begin_window() {
     group.host.mem->begin_window();
     group.host.remote_mem->begin_window();
     group.host.receiver->begin_window();
+    if (!workload_engines_.empty()) {
+      workload_engines_[static_cast<std::size_t>(r)]->begin_window();
+    }
   }
 }
 
@@ -251,6 +305,36 @@ ClusterMetrics ClusterExperiment::snapshot() const {
     cm.max_host_delay_p99_us = std::max(cm.max_host_delay_p99_us, m.host_delay_p99_us);
   }
   cm.total_fabric_drops = fabric_->fabric_drops() - fabric_window_start_;
+  if (!workload_engines_.empty()) {
+    WorkloadMetrics& wm = cm.workload;
+    wm.enabled = true;
+    wm.fct_us = QuantileSketch(cfg_.workload.sketch_relative_error);
+    wm.slowdown = QuantileSketch(cfg_.workload.sketch_relative_error);
+    wm.host_delay_us = QuantileSketch(cfg_.workload.sketch_relative_error);
+    // Fixed receiver order; sketch merges are exact, so this equals
+    // one sketch fed by every receiver's stream regardless of
+    // partitioning (the --parallel=N determinism probe).
+    for (const auto& engine : workload_engines_) {
+      const workload::WorkloadWindow& win = engine->window();
+      wm.flows_started += win.flows_started;
+      wm.flows_completed += win.flows_completed;
+      wm.pool_exhausted += win.pool_exhausted;
+      wm.collectives_completed += win.collectives_completed;
+      wm.active_flows += engine->active_flows();
+      wm.fct_us.merge(engine->fct_us());
+      wm.slowdown.merge(engine->slowdown());
+      wm.host_delay_us.merge(engine->host_delay_us());
+    }
+    wm.fct_p50_us = wm.fct_us.quantile(0.5);
+    wm.fct_p99_us = wm.fct_us.quantile(0.99);
+    wm.fct_p999_us = wm.fct_us.quantile(0.999);
+    wm.slowdown_p50 = wm.slowdown.quantile(0.5);
+    wm.slowdown_p99 = wm.slowdown.quantile(0.99);
+    wm.slowdown_p999 = wm.slowdown.quantile(0.999);
+    wm.host_delay_p50_us = wm.host_delay_us.quantile(0.5);
+    wm.host_delay_p99_us = wm.host_delay_us.quantile(0.99);
+    wm.host_delay_p999_us = wm.host_delay_us.quantile(0.999);
+  }
   if (!cm.per_receiver.empty()) {
     cm.run_status = cm.per_receiver[0].run_status;
     cm.events_executed = cm.per_receiver[0].events_executed;

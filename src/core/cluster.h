@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sketch.h"
 #include "core/config.h"
 #include "core/host_factory.h"
 #include "core/metrics.h"
@@ -50,8 +51,13 @@
 #include "sim/simulator.h"
 #include "trace/trace.h"
 #include "transport/sender_host.h"
+#include "workload/workload.h"
 
 namespace hicc {
+
+namespace workload {
+class WorkloadEngine;
+}  // namespace workload
 
 /// Full description of one cluster run.
 struct ClusterConfig {
@@ -70,6 +76,20 @@ struct ClusterConfig {
   /// Cluster-level fault script; net.* events accept `leaf=`+`spine=`
   /// (a leaf-spine link) or `host=` (a host uplink) targeting.
   fault::FaultScript faults;
+  /// Open-loop workload generation (src/workload, docs/WORKLOADS.md).
+  /// When `workload.pattern != off` every receiver runs a
+  /// WorkloadEngine injecting dynamic flows over a recyclable slot
+  /// pool instead of the closed-loop per-flow read pipeline;
+  /// `host.read_size`/`read_pipeline`/`victim_flows` are then unused
+  /// (validate() enforces victim_flows == 0).
+  workload::WorkloadParams workload;
+  /// Per-receiver memory-antagonist heterogeneity: receiver r runs
+  /// antagonist_profile[r % size()] antagonist cores instead of
+  /// host.antagonist_cores. Empty (default) keeps the uniform
+  /// template. Models a production fleet where only some hosts
+  /// co-locate memory-heavy batch jobs (the paper's Fig. 1 population
+  /// with drops at low utilization).
+  std::vector<int> antagonist_profile;
   /// Engine worker threads. 0 (default) keeps the legacy single
   /// Simulator. >= 1 partitions the run onto a sim::ParallelEngine --
   /// partition 0 the fabric interior, partition 1+h host h -- with the
@@ -98,6 +118,33 @@ struct ClusterConfig {
 /// Metrics bitwise (the parity test pins it).
 [[nodiscard]] ClusterConfig degenerate_cluster(const ExperimentConfig& cfg);
 
+/// Open-loop workload results for one window: counters summed and
+/// sketches exactly merged across every receiver engine in fixed
+/// receiver order, so the merged sketches (and their encode() bytes)
+/// are identical for any --parallel=N (docs/WORKLOADS.md).
+struct WorkloadMetrics {
+  bool enabled = false;
+  std::int64_t flows_started = 0;
+  std::int64_t flows_completed = 0;
+  std::int64_t pool_exhausted = 0;
+  std::int64_t collectives_completed = 0;
+  std::int64_t active_flows = 0;  // at snapshot instant
+  double fct_p50_us = 0.0;
+  double fct_p99_us = 0.0;
+  double fct_p999_us = 0.0;
+  double slowdown_p50 = 0.0;
+  double slowdown_p99 = 0.0;
+  double slowdown_p999 = 0.0;
+  double host_delay_p50_us = 0.0;
+  double host_delay_p99_us = 0.0;
+  double host_delay_p999_us = 0.0;
+  /// The merged sketches themselves, for exporters and the
+  /// bitwise-determinism tests (quantiles above are derived views).
+  QuantileSketch fct_us;
+  QuantileSketch slowdown;
+  QuantileSketch host_delay_us;
+};
+
 /// Cluster-level aggregation of the per-receiver Metrics.
 struct ClusterMetrics {
   /// One Metrics per receiver host, index == host id. Each receiver's
@@ -118,6 +165,8 @@ struct ClusterMetrics {
   int partitions = 0;
   std::uint64_t parallel_windows = 0;
   std::uint64_t parallel_messages = 0;
+  /// Open-loop workload results; enabled iff config().workload is.
+  WorkloadMetrics workload;
 };
 
 /// One fully-wired multi-host simulation instance; run() may be
@@ -155,6 +204,12 @@ class ClusterExperiment {
   [[nodiscard]] int num_sender_hosts() const { return senders_per_receiver_; }
   /// Null unless config().faults is non-empty.
   [[nodiscard]] fault::FaultEngine* fault_engine() { return fault_engine_.get(); }
+  /// Receiver r's open-loop engine; null unless config().workload is
+  /// enabled.
+  [[nodiscard]] workload::WorkloadEngine* workload_engine(int r) {
+    return workload_engines_.empty() ? nullptr
+                                     : workload_engines_[static_cast<std::size_t>(r)].get();
+  }
   [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
 
  private:
@@ -204,6 +259,9 @@ class ClusterExperiment {
   /// sender_ports_[s][r]: sender machine receivers_+s's transport
   /// serving receiver r.
   std::vector<std::vector<std::unique_ptr<transport::SenderHost>>> sender_ports_;
+  /// One open-loop engine per receiver (index == receiver); empty
+  /// unless cfg_.workload is enabled.
+  std::vector<std::unique_ptr<workload::WorkloadEngine>> workload_engines_;
   std::unique_ptr<fault::FaultEngine> fault_engine_;
   std::int64_t fabric_window_start_ = 0;
   TimePs window_start_time_{};

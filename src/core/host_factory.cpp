@@ -19,7 +19,8 @@ std::unique_ptr<transport::CongestionControl> make_congestion_control(
   return nullptr;
 }
 
-host::ReceiverParams HostFactory::receiver_params(const ExperimentConfig& cfg) {
+host::ReceiverParams HostFactory::receiver_params(const ExperimentConfig& cfg, bool open_loop,
+                                                  int open_loop_slots) {
   host::ReceiverParams rp;
   rp.threads = cfg.rx_threads;
   rp.data_region = cfg.data_region;
@@ -38,11 +39,17 @@ host::ReceiverParams HostFactory::receiver_params(const ExperimentConfig& cfg) {
   rp.victim_flows = cfg.victim_flows;
   rp.victim_read_size = cfg.victim_read_size;
   rp.send_host_signals = (cfg.cc == transport::CcAlgorithm::kHostSignal);
+  if (open_loop) {
+    rp.open_loop = true;
+    rp.open_loop_slots = open_loop_slots;
+    rp.victim_flows = 0;  // victims are closed-loop by definition
+  }
   return rp;
 }
 
 FullHost HostFactory::make_full_host(const ExperimentConfig& cfg, int num_senders, Rng& rng,
-                                     trace::Tracer* tracer) const {
+                                     trace::Tracer* tracer, bool open_loop,
+                                     int open_loop_slots) const {
   FullHost h;
   // Probes cover the NIC-local NUMA node only; the remote node's
   // mem.* probes would collide by name and it is idle in most setups.
@@ -58,8 +65,9 @@ FullHost HostFactory::make_full_host(const ExperimentConfig& cfg, int num_sender
     antagonist_node.set_class_throttle(
         mem::MemClass::kAntagonist, BitRate::gigabytes_per_sec(cfg.antagonist_throttle_gbps));
   }
-  h.receiver = std::make_unique<host::ReceiverHost>(sim_, *h.mem, receiver_params(cfg),
-                                                    num_senders, cfg.wire, rng.fork(), tracer);
+  h.receiver = std::make_unique<host::ReceiverHost>(
+      sim_, *h.mem, receiver_params(cfg, open_loop, open_loop_slots), num_senders, cfg.wire,
+      rng.fork(), tracer);
   return h;
 }
 

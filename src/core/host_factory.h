@@ -45,15 +45,23 @@ class HostFactory {
   explicit HostFactory(sim::Simulator& sim) : sim_(sim) {}
 
   /// Maps the experiment-level receiver knobs onto ReceiverParams
-  /// (including the iommu_enabled / ats / strict overrides).
-  [[nodiscard]] static host::ReceiverParams receiver_params(const ExperimentConfig& cfg);
+  /// (including the iommu_enabled / ats / strict overrides). With
+  /// `open_loop` set the receiver is built in workload mode:
+  /// `open_loop_slots` recyclable flow slots, no closed-loop reads, no
+  /// victims (src/workload, docs/WORKLOADS.md).
+  [[nodiscard]] static host::ReceiverParams receiver_params(const ExperimentConfig& cfg,
+                                                            bool open_loop = false,
+                                                            int open_loop_slots = 0);
 
   /// Builds one host's stack in the canonical order -- mem fork,
   /// remote-mem fork, antagonist (no fork), receiver fork -- which is
   /// the fork sequence the parity contract depends on. `num_senders`
-  /// is the number of remote peers this host reads from.
+  /// is the number of remote peers this host reads from. The defaulted
+  /// open-loop arguments pass through to receiver_params().
   [[nodiscard]] FullHost make_full_host(const ExperimentConfig& cfg, int num_senders,
-                                        Rng& rng, trace::Tracer* tracer) const;
+                                        Rng& rng, trace::Tracer* tracer,
+                                        bool open_loop = false,
+                                        int open_loop_slots = 0) const;
 
  private:
   sim::Simulator& sim_;

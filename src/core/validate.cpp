@@ -336,6 +336,42 @@ std::vector<ConfigViolation> validate(const ClusterConfig& cfg) {
               "(injectors mutate cross-partition state mid-window)");
   }
 
+  // Open-loop workload generation (src/workload, docs/WORKLOADS.md).
+  if (cfg.workload.enabled()) {
+    const workload::WorkloadParams& wl = cfg.workload;
+    const int senders = std::max(1, topo.num_hosts() - cfg.receivers);
+    c.require(wl.rate_per_s > 0.0 && std::isfinite(wl.rate_per_s), "workload.rate_per_s",
+              "open-loop arrival rate must be positive and finite");
+    c.require(wl.fanout >= 1 && wl.fanout <= senders, "workload.fanout",
+              "incast fanout must be in [1, sender machines=" + std::to_string(senders) + "]");
+    c.require(wl.max_active >= senders, "workload.max_active",
+              "the flow pool needs at least one slot per sender machine (" +
+                  std::to_string(senders) + ")");
+    c.require(wl.target_flows >= 0, "workload.target_flows",
+              "target_flows must be >= 0 (0 = unbounded)");
+    c.require(wl.fixed_size.count() >= 1, "workload.fixed_size",
+              "fixed flow size must be >= 1 byte");
+    c.require(wl.sketch_relative_error > 0.0 && wl.sketch_relative_error < 0.5,
+              "workload.sketch_relative_error",
+              "quantile-sketch relative error must be in (0, 0.5)");
+    if (wl.arrival == workload::Arrival::kBursty) {
+      c.require(wl.burst_factor >= 1.0 && std::isfinite(wl.burst_factor),
+                "workload.burst_factor", "burst factor must be >= 1 and finite");
+      c.require(wl.burst_on_fraction > 0.0 && wl.burst_on_fraction <= 1.0,
+                "workload.burst_on_fraction", "burst on-fraction must be in (0, 1]");
+      c.require(wl.burst_period > TimePs(0), "workload.burst_period",
+                "burst period must be > 0");
+    }
+    c.require(cfg.host.victim_flows == 0, "host.victim_flows",
+              "victim flows are closed-loop and unavailable with an open-loop "
+              "workload (use the workload's own FCT sketches instead)");
+  }
+
+  for (const int cores : cfg.antagonist_profile) {
+    c.require(cores >= 0 && cores <= 64, "antagonist_profile",
+              "per-receiver antagonist cores must be in [0, 64]");
+  }
+
   // The per-host template, as ClusterExperiment will actually run it:
   // num_senders overridden by the topology, the legacy fault script
   // ignored in favor of cfg.faults.

@@ -45,6 +45,13 @@ ReceiverHost::ReceiverHost(sim::Simulator& sim, mem::MemorySystem& mem,
   flow_paused_.assign(static_cast<std::size_t>(num_flows()), 0);
   read_deferred_.assign(static_cast<std::size_t>(num_flows()), 0);
   for (std::int32_t f = 0; f < num_flows(); ++f) {
+    if (params_.open_loop) {
+      // Slots start idle: remaining == 0 means "no read in flight" and
+      // makes stale duplicates of a completed read inert.
+      packets_per_read_[static_cast<std::size_t>(f)] = 1;
+      read_remaining_[static_cast<std::size_t>(f)] = 0;
+      continue;
+    }
     packets_per_read_[static_cast<std::size_t>(f)] = static_cast<int>(
         std::max<std::int64_t>(1, read_bytes_of(f).count() / wire_.mtu_payload.count()));
     read_remaining_[static_cast<std::size_t>(f)] =
@@ -71,6 +78,7 @@ void ReceiverHost::set_transmit(sim::InlineCallback<bool(net::Packet)> transmit)
 
 void ReceiverHost::start() {
   assert(transmit_ && "set_transmit() must be wired before start()");
+  if (params_.open_loop) return;  // the workload engine injects reads
   for (std::int32_t flow = 0; flow < num_flows(); ++flow) {
     // Victims are strictly closed-loop (one read at a time) so their
     // measured read latency is well defined.
@@ -116,6 +124,26 @@ void ReceiverHost::issue_read(std::int32_t flow) {
   nic_->send_packet(std::move(req), thread_of_flow(flow));
 }
 
+void ReceiverHost::issue_open_read(std::int32_t slot, Bytes size) {
+  auto& remaining = read_remaining_[static_cast<std::size_t>(slot)];
+  assert(remaining == 0 && "slot already carries an in-flight read");
+  // Same floor-with-minimum rule as SenderPort::on_packet's
+  // kReadRequest handler: both ends MUST derive the identical packet
+  // count from `size`, or the read never completes and leaks its slot.
+  const int packets = static_cast<int>(
+      std::max<std::int64_t>(1, size.count() / wire_.mtu_payload.count()));
+  packets_per_read_[static_cast<std::size_t>(slot)] = packets;
+  remaining = packets;
+  net::Packet req;
+  req.kind = net::PacketKind::kReadRequest;
+  req.flow = slot;
+  req.sender = sender_of_flow(slot);
+  req.payload = size;
+  req.wire = wire_.read_request_wire;
+  read_issued_at_[static_cast<std::size_t>(slot)] = sim_.now();
+  nic_->send_packet(std::move(req), thread_of_flow(slot));
+}
+
 void ReceiverHost::on_delivered(int thread, net::Packet p, TimePs nic_arrival) {
   threads_[static_cast<std::size_t>(thread)]->enqueue(std::move(p), nic_arrival);
 }
@@ -125,6 +153,7 @@ void ReceiverHost::on_processed(const net::Packet& p, TimePs nic_arrival) {
   ++window_.processed_packets;
   window_.processed_bytes += p.payload.count();
   window_.host_delay_us.add(host_delay.us());
+  if (host_delay_sketch_ != nullptr) host_delay_sketch_->add(host_delay.us());
 
   const int thread = thread_of_flow(p.flow);
   // The stack replenishes the Rx descriptor it just consumed.
@@ -132,6 +161,17 @@ void ReceiverHost::on_processed(const net::Packet& p, TimePs nic_arrival) {
   send_ack(p, host_delay);
 
   auto& remaining = read_remaining_[static_cast<std::size_t>(p.flow)];
+  if (params_.open_loop) {
+    // remaining == 0 means the slot is idle: this packet is a late
+    // duplicate of an already-completed read (retransmit raced the
+    // SACK) -- acked above, but it must not touch the next occupancy.
+    if (remaining > 0 && --remaining == 0) {
+      if (read_complete_) {
+        read_complete_(p.flow, read_issued_at_[static_cast<std::size_t>(p.flow)]);
+      }
+    }
+    return;
+  }
   if (--remaining <= 0) {
     remaining = packets_per_read_[static_cast<std::size_t>(p.flow)];
     if (is_victim(p.flow)) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sketch.h"
 #include "common/stats.h"
 #include "common/units.h"
 #include "iommu/iommu.h"
@@ -69,6 +70,13 @@ struct ReceiverParams {
   TimePs signal_cooldown = TimePs::from_us(25);
   /// Interval for refreshing the copy client's fluid demand.
   TimePs accounting_period = TimePs::from_us(20);
+  /// Open-loop mode (the workload engine, docs/WORKLOADS.md): the host
+  /// carries `open_loop_slots` recyclable flow slots instead of the
+  /// fixed closed-loop flow set. start() issues nothing; reads are
+  /// injected via issue_open_read() and completions fire the
+  /// read-complete hook instead of reissuing.
+  bool open_loop = false;
+  int open_loop_slots = 0;
 };
 
 /// Windowed receiver metrics (reset by begin_window()).
@@ -116,6 +124,22 @@ class ReceiverHost {
   /// deferred until unpause (the application went quiet, then returned).
   void set_flow_paused(std::int32_t flow, bool paused);
 
+  /// Open-loop mode: injects one read of `size` bytes on pool slot
+  /// `slot` (the flow id); the slot's sender is sender_of_flow(slot).
+  /// The workload engine owns slot lifecycle (workload/flow_pool.h).
+  void issue_open_read(std::int32_t slot, Bytes size);
+
+  /// Open-loop mode: invoked when a slot's read fully completes, with
+  /// the slot id and the time the read was issued. No reissue happens;
+  /// the callback retires or recycles the slot.
+  void set_read_complete(sim::InlineCallback<void(std::int32_t, TimePs)> cb) {
+    read_complete_ = std::move(cb);
+  }
+
+  /// Optional per-packet host-delay feed (microseconds) into a
+  /// workload quantile sketch; null disables (common/sketch.h).
+  void set_host_delay_sketch(QuantileSketch* sketch) { host_delay_sketch_ = sketch; }
+
   [[nodiscard]] const ReceiverWindow& window() const { return window_; }
   [[nodiscard]] nic::Nic& nic() { return *nic_; }
   [[nodiscard]] iommu::Iommu& iommu() { return *iommu_; }
@@ -123,18 +147,24 @@ class ReceiverHost {
   [[nodiscard]] mem::DdioModel& ddio() { return *ddio_; }
   [[nodiscard]] const ReceiverParams& params() const { return params_; }
 
-  /// Bulk flows plus any victim flows.
+  /// Bulk flows plus any victim flows (closed loop), or the pool slot
+  /// count (open loop).
   [[nodiscard]] int num_flows() const {
-    return num_senders_ * params_.threads + params_.victim_flows;
+    return params_.open_loop ? params_.open_loop_slots
+                             : num_senders_ * params_.threads + params_.victim_flows;
   }
   [[nodiscard]] bool is_victim(std::int32_t flow) const {
-    return flow >= num_senders_ * params_.threads;
+    return !params_.open_loop && flow >= num_senders_ * params_.threads;
   }
 
   /// Bulk flow ids are laid out thread-major (flow = thread *
   /// num_senders + sender); victim flows are appended and spread
-  /// round-robin over threads and senders.
+  /// round-robin over threads and senders. Open-loop slots extend the
+  /// same layout with a depth dimension (slot % senders is the sender,
+  /// wrapping over threads), so the pool's per-sender slot classes and
+  /// the NIC's thread steering agree by construction.
   [[nodiscard]] int thread_of_flow(std::int32_t flow) const {
+    if (params_.open_loop) return (flow / num_senders_) % params_.threads;
     if (is_victim(flow)) {
       return (flow - num_senders_ * params_.threads) % params_.threads;
     }
@@ -188,6 +218,10 @@ class ReceiverHost {
 
   TimePs last_signal_{};
   ReceiverWindow window_;
+
+  /// Open-loop hooks (unset in closed-loop runs).
+  sim::InlineCallback<void(std::int32_t, TimePs)> read_complete_;
+  QuantileSketch* host_delay_sketch_ = nullptr;
 };
 
 }  // namespace hicc::host

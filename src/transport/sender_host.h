@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <map>
 #include <utility>
@@ -35,16 +36,39 @@ class SenderHost {
     return *it->second;
   }
 
+  /// Flow lifecycle hook for dynamic workloads: when set, a read
+  /// request for an unknown flow id creates that flow on first use
+  /// (controller supplied by the factory) instead of being ignored.
+  /// Creation order is event order, so runs stay deterministic; once a
+  /// slot's flow exists it is reused by every later occupancy, keeping
+  /// the steady state allocation-free (docs/WORKLOADS.md).
+  using FlowFactory = std::function<std::unique_ptr<CongestionControl>(std::int32_t)>;
+  void set_flow_factory(FlowFactory factory) { factory_ = std::move(factory); }
+
+  /// Retire hook: drops a flow's sender-side state entirely (pending
+  /// queue, SACK scoreboard, controller). Returns false if the flow id
+  /// is unknown.
+  bool remove_flow(std::int32_t flow_id) { return flows_.erase(flow_id) > 0; }
+
+  [[nodiscard]] bool has_flow(std::int32_t flow_id) const {
+    return flows_.count(flow_id) > 0;
+  }
+
   /// Handles a packet arriving from the fabric: a read request queues
   /// data on the flow; an ACK advances it; a host signal fans out to
-  /// every flow. Unknown flows are ignored.
+  /// every flow. Unknown flows are ignored (or created via the flow
+  /// factory when one is installed and a read request arrives).
   void on_packet(const net::Packet& p) {
     if (p.kind == net::PacketKind::kHostSignal) {
       on_host_signal();
       return;
     }
-    const auto it = flows_.find(p.flow);
-    if (it == flows_.end()) return;
+    auto it = flows_.find(p.flow);
+    if (it == flows_.end()) {
+      if (!factory_ || p.kind != net::PacketKind::kReadRequest) return;
+      add_flow(p.flow, factory_(p.flow));
+      it = flows_.find(p.flow);
+    }
     switch (p.kind) {
       case net::PacketKind::kReadRequest:
         // The request's payload field carries the read size.
@@ -77,6 +101,7 @@ class SenderHost {
   net::WireFormat wire_;
   SenderFlow::SendFn send_;
   Rng rng_;
+  FlowFactory factory_;
   std::map<std::int32_t, std::unique_ptr<SenderFlow>> flows_;
 };
 

@@ -1,0 +1,118 @@
+// hicc-lint: hotpath
+#include "workload/dist.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hicc::workload {
+namespace {
+
+// Web-search RPC flow sizes: the DCTCP-style search workload CDF --
+// mostly tens-of-KB query/response traffic with a multi-MB tail.
+constexpr SizeKnot kWebSearch[] = {
+    {6e3, 0.0},   {10e3, 0.15}, {13e3, 0.2},  {19e3, 0.3},
+    {33e3, 0.4},  {53e3, 0.53}, {133e3, 0.6}, {667e3, 0.7},
+    {1467e3, 0.8}, {3333e3, 0.9}, {6667e3, 0.97}, {20e6, 1.0},
+};
+constexpr int kWebSearchSize = static_cast<int>(sizeof(kWebSearch) / sizeof(kWebSearch[0]));
+
+// Hadoop/storage-style flow sizes: the VL2-style data-mining shape --
+// a large mass of tiny control/metadata flows under a heavy bulk tail.
+constexpr SizeKnot kHadoop[] = {
+    {100.0, 0.0}, {300.0, 0.3},  {1e3, 0.5},   {2e3, 0.6},
+    {10e3, 0.7},  {100e3, 0.8},  {1e6, 0.9},   {10e6, 0.97},
+    {100e6, 0.999}, {1e9, 1.0},
+};
+constexpr int kHadoopSize = static_cast<int>(sizeof(kHadoop) / sizeof(kHadoop[0]));
+
+}  // namespace
+
+FlowSizeDist::FlowSizeDist(SizeDist dist, Bytes fixed_size)
+    : dist_(dist), fixed_(fixed_size) {
+  switch (dist_) {
+    case SizeDist::kFixed:
+      mean_bytes_ = static_cast<double>(fixed_.count());
+      return;
+    case SizeDist::kWebSearch:
+      table_ = kWebSearch;
+      table_size_ = kWebSearchSize;
+      break;
+    case SizeDist::kHadoop:
+      table_ = kHadoop;
+      table_size_ = kHadoopSize;
+      break;
+  }
+  // Segment-wise expectation of the log-linear interpolant:
+  // E[X] = sum_i (c_{i+1}-c_i) * b_i * (r-1)/ln(r), r = b_{i+1}/b_i.
+  for (int i = 0; i + 1 < table_size_; ++i) {
+    const double dc = table_[i + 1].cdf - table_[i].cdf;
+    const double r = table_[i + 1].bytes / table_[i].bytes;
+    mean_bytes_ += dc * table_[i].bytes * (r - 1.0) / std::log(r);
+  }
+}
+
+Bytes FlowSizeDist::sample(Rng& rng) const {
+  if (dist_ == SizeDist::kFixed) return fixed_;
+  const double u = rng.uniform();
+  int i = 0;
+  while (i + 2 < table_size_ && table_[i + 1].cdf <= u) ++i;
+  const double dc = table_[i + 1].cdf - table_[i].cdf;
+  const double t = dc > 0.0 ? (u - table_[i].cdf) / dc : 0.0;
+  const double bytes =
+      table_[i].bytes * std::pow(table_[i + 1].bytes / table_[i].bytes, t);
+  return Bytes(std::max<std::int64_t>(1, static_cast<std::int64_t>(bytes)));
+}
+
+ArrivalProcess::ArrivalProcess(const WorkloadParams& params, Rng rng)
+    : kind_(params.arrival), rng_(rng) {
+  const double rate_per_ps = params.rate_per_s * 1e-12;
+  if (kind_ == Arrival::kPoisson) {
+    on_rate_per_ps_ = rate_per_ps;
+    off_rate_per_ps_ = rate_per_ps;
+    mean_on_ps_ = 0.0;
+    mean_off_ps_ = 0.0;
+    return;
+  }
+  // Two-state MMPP: on-state rate = burst_factor * mean; the off-state
+  // rate balances the long-run mean back to rate_per_s (clamped at 0
+  // when the on state already carries the whole mean).
+  const double f = std::clamp(params.burst_on_fraction, 1e-6, 1.0);
+  on_rate_per_ps_ = rate_per_ps * std::max(1.0, params.burst_factor);
+  off_rate_per_ps_ =
+      f < 1.0 ? std::max(0.0, rate_per_ps * (1.0 - f * params.burst_factor) / (1.0 - f))
+              : rate_per_ps;
+  const double period_ps = static_cast<double>(params.burst_period.ps());
+  mean_on_ps_ = f * period_ps;
+  mean_off_ps_ = (1.0 - f) * period_ps;
+}
+
+TimePs ArrivalProcess::next_gap() {
+  if (kind_ == Arrival::kPoisson) {
+    const double gap = rng_.exponential(1.0 / on_rate_per_ps_);
+    return TimePs(std::max<std::int64_t>(1, static_cast<std::int64_t>(gap)));
+  }
+  double elapsed = 0.0;
+  for (;;) {
+    if (state_left_ps_ <= 0.0) {
+      on_ = !on_;
+      state_left_ps_ = rng_.exponential(on_ ? mean_on_ps_ : mean_off_ps_);
+      continue;
+    }
+    const double rate = on_ ? on_rate_per_ps_ : off_rate_per_ps_;
+    if (rate <= 0.0) {
+      // Silent state: skip to its end.
+      elapsed += state_left_ps_;
+      state_left_ps_ = 0.0;
+      continue;
+    }
+    const double gap = rng_.exponential(1.0 / rate);
+    if (gap <= state_left_ps_) {
+      state_left_ps_ -= gap;
+      return TimePs(std::max<std::int64_t>(1, static_cast<std::int64_t>(elapsed + gap)));
+    }
+    elapsed += state_left_ps_;
+    state_left_ps_ = 0.0;
+  }
+}
+
+}  // namespace hicc::workload

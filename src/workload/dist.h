@@ -1,0 +1,69 @@
+// hicc-lint: hotpath
+//
+// Sampling machinery of the open-loop workload: flow-size
+// distributions (fixed, web-search CDF, Hadoop-style CDF) and arrival
+// processes (Poisson, two-state bursty). Both sample in O(table size)
+// with zero allocation; all randomness flows through the caller's Rng
+// so runs stay bitwise deterministic (docs/WORKLOADS.md).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "workload/workload.h"
+
+namespace hicc::workload {
+
+/// One knot of an empirical flow-size CDF.
+struct SizeKnot {
+  double bytes;
+  double cdf;
+};
+
+/// Inverse-transform sampler over an empirical flow-size CDF (or the
+/// degenerate fixed-size distribution).
+class FlowSizeDist {
+ public:
+  FlowSizeDist(SizeDist dist, Bytes fixed_size);
+
+  /// One flow size; log-linear interpolation between CDF knots.
+  [[nodiscard]] Bytes sample(Rng& rng) const;
+
+  /// Mean of the distribution (for offered-load math).
+  [[nodiscard]] double mean_bytes() const { return mean_bytes_; }
+
+ private:
+  SizeDist dist_;
+  Bytes fixed_;
+  const SizeKnot* table_ = nullptr;
+  int table_size_ = 0;
+  double mean_bytes_ = 0.0;
+};
+
+/// Open-loop inter-arrival gap generator. Poisson draws exponential
+/// gaps at the configured rate; bursty is a two-state Markov-modulated
+/// Poisson process whose on-state rate is `burst_factor` times the
+/// mean, with exponentially distributed state dwell times -- the
+/// long-run mean rate equals `rate_per_s` in both modes.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const WorkloadParams& params, Rng rng);
+
+  /// Gap to the next arrival from "now". Never returns a zero/negative
+  /// gap (floor 1ps) so the arrival loop always advances time.
+  [[nodiscard]] TimePs next_gap();
+
+ private:
+  Arrival kind_;
+  double on_rate_per_ps_;
+  double off_rate_per_ps_;
+  double mean_on_ps_;
+  double mean_off_ps_;
+  bool on_ = true;
+  /// Time left in the current on/off state, consumed by next_gap().
+  double state_left_ps_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace hicc::workload

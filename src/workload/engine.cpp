@@ -1,0 +1,197 @@
+// hicc-lint: hotpath
+#include "workload/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace hicc::workload {
+namespace {
+
+/// Tree-allreduce round count: reduce up then broadcast down a binary
+/// tree over M peers.
+int tree_rounds_for(int senders) {
+  int rounds = 0;
+  int span = 1;
+  while (span < senders + 1) {
+    span <<= 1;
+    ++rounds;
+  }
+  return std::max(1, rounds);
+}
+
+}  // namespace
+
+WorkloadEngine::WorkloadEngine(const WorkloadParams& params, Wiring wiring, Rng rng,
+                               trace::Tracer* tracer)
+    : params_(params),
+      w_(wiring),
+      rng_(rng),
+      arrival_(params, rng_.fork()),
+      pool_(params.max_active, wiring.num_senders),
+      size_dist_(params.size_dist, params.fixed_size),
+      fct_us_(params.sketch_relative_error),
+      slowdown_(params.sketch_relative_error),
+      host_delay_us_(params.sketch_relative_error) {
+  assert(w_.sim != nullptr && w_.receiver != nullptr);
+  tree_rounds_ = tree_rounds_for(w_.num_senders);
+  base_rtt_us_ = w_.base_rtt.us();
+  us_per_byte_ = 8.0 / w_.link_rate.bps() * 1e6;
+
+  handles_.assign(static_cast<std::size_t>(pool_.capacity()), FlowHandle{});
+  slot_size_.assign(static_cast<std::size_t>(pool_.capacity()), Bytes(0));
+  chains_.assign(static_cast<std::size_t>(pool_.capacity()), Chain{});
+
+  w_.receiver->set_read_complete(sim::InlineCallback<void(std::int32_t, TimePs)>(
+      [this](std::int32_t slot, TimePs issued_at) { on_complete(slot, issued_at); }));
+  w_.receiver->set_host_delay_sketch(&host_delay_us_);
+
+  if (tracer != nullptr) {
+    tracer->gauge("workload.active_flows", "flows",
+                  [this] { return static_cast<double>(pool_.active()); });
+    tracer->counter("workload.flows_started", "flows",
+                    [this] { return static_cast<double>(injected_total_); });
+    tracer->counter("workload.flows_completed", "flows",
+                    [this] { return static_cast<double>(completed_total_); });
+    tracer->counter("workload.pool_exhausted", "flows",
+                    [this] { return static_cast<double>(exhausted_total_); });
+    tracer->counter("workload.collectives_completed", "collectives",
+                    [this] { return static_cast<double>(collectives_total_); });
+    tracer->gauge("workload.fct_p99_us", "us",
+                  [this] { return fct_us_.quantile(0.99); });
+    tracer->gauge("workload.slowdown_p99", "ratio",
+                  [this] { return slowdown_.quantile(0.99); });
+  }
+}
+
+void WorkloadEngine::start() {
+  if (!params_.enabled()) return;
+  schedule_next();
+}
+
+void WorkloadEngine::begin_window() {
+  fct_us_.reset();
+  slowdown_.reset();
+  host_delay_us_.reset();
+  window_ = WorkloadWindow{};
+}
+
+void WorkloadEngine::schedule_next() {
+  if (stopped_) return;
+  w_.sim->after(arrival_.next_gap(), [this] { on_arrival(); });
+}
+
+void WorkloadEngine::on_arrival() {
+  if (w_.target_flows > 0 && injected_total_ >= w_.target_flows) {
+    stopped_ = true;
+    return;
+  }
+  const int senders = w_.num_senders;
+  switch (params_.pattern) {
+    case Pattern::kOff:
+      return;
+    case Pattern::kUniform: {
+      const int s = static_cast<int>(rng_.below(static_cast<std::uint64_t>(senders)));
+      launch(s, size_dist_.sample(rng_), Chain{});
+      break;
+    }
+    case Pattern::kIncast: {
+      // One RPC fans out to `fanout` distinct senders, each serving an
+      // equal shard; the responses converge on this receiver's NIC.
+      const int fanout = std::min(params_.fanout, senders);
+      const int base = static_cast<int>(rng_.below(static_cast<std::uint64_t>(senders)));
+      const Bytes total = size_dist_.sample(rng_);
+      const Bytes shard(std::max<std::int64_t>(1, total.count() / fanout));
+      for (int j = 0; j < fanout; ++j) {
+        launch((base + j) % senders, shard, Chain{});
+      }
+      break;
+    }
+    case Pattern::kAllreduceRing: {
+      // Ring allreduce: 2(M-1) size/M chunks arrive sequentially from
+      // the ring predecessor -- a latency-bound dependency chain.
+      const Bytes total = size_dist_.sample(rng_);
+      const Bytes chunk(std::max<std::int64_t>(1, total.count() / senders));
+      const int steps = std::max(1, 2 * (senders - 1));
+      Chain chain;
+      chain.total = static_cast<std::int16_t>(std::min(steps, 32767));
+      chain.remaining = static_cast<std::int16_t>(chain.total - 1);
+      chain.step = 0;
+      chain.step_size = chunk;
+      launch(chain_sender(0), chunk, chain);
+      break;
+    }
+    case Pattern::kAllreduceTree: {
+      // Tree allreduce: reduce up + broadcast down, one full-size
+      // transfer per round from alternating tree peers.
+      const Bytes total = size_dist_.sample(rng_);
+      const int steps = 2 * tree_rounds_;
+      Chain chain;
+      chain.total = static_cast<std::int16_t>(std::min(steps, 32767));
+      chain.remaining = static_cast<std::int16_t>(chain.total - 1);
+      chain.step = 0;
+      chain.step_size = total;
+      launch(chain_sender(0), total, chain);
+      break;
+    }
+  }
+  schedule_next();
+}
+
+int WorkloadEngine::chain_sender(int step) const {
+  if (params_.pattern == Pattern::kAllreduceRing) {
+    // The ring predecessor is fixed per receiver.
+    return w_.receiver_index % w_.num_senders;
+  }
+  // Tree peers at distance 2^round.
+  const int round = step % tree_rounds_;
+  return (w_.receiver_index + (1 << round)) % w_.num_senders;
+}
+
+void WorkloadEngine::launch(int sender, Bytes size, Chain chain) {
+  const FlowHandle h = pool_.acquire(sender);
+  if (!h.valid()) {
+    // Overload: the pool bounds active flows (and memory); arrivals
+    // beyond it are dropped and counted, like an app-level admission
+    // queue overflowing. A dropped collective step drops its chain.
+    ++window_.pool_exhausted;
+    ++exhausted_total_;
+    return;
+  }
+  handles_[static_cast<std::size_t>(h.slot)] = h;
+  slot_size_[static_cast<std::size_t>(h.slot)] = size;
+  chains_[static_cast<std::size_t>(h.slot)] = chain;
+  ++window_.flows_started;
+  ++injected_total_;
+  w_.receiver->issue_open_read(h.slot, size);
+}
+
+double WorkloadEngine::ideal_fct_us(Bytes size) const {
+  return base_rtt_us_ + static_cast<double>(size.count()) * us_per_byte_;
+}
+
+void WorkloadEngine::on_complete(std::int32_t slot, TimePs issued_at) {
+  const FlowHandle h = handles_[static_cast<std::size_t>(slot)];
+  if (!pool_.live(h)) return;  // stale completion for a recycled slot
+  const Bytes size = slot_size_[static_cast<std::size_t>(slot)];
+  const Chain chain = chains_[static_cast<std::size_t>(slot)];
+  const double fct_us = (w_.sim->now() - issued_at).us();
+  fct_us_.add(fct_us);
+  slowdown_.add(fct_us / ideal_fct_us(size));
+  pool_.release(h);
+  handles_[static_cast<std::size_t>(slot)] = FlowHandle{};
+  ++window_.flows_completed;
+  ++completed_total_;
+  if (chain.total == 0) return;
+  if (chain.remaining > 0) {
+    Chain next = chain;
+    next.step = static_cast<std::int16_t>(chain.step + 1);
+    next.remaining = static_cast<std::int16_t>(chain.remaining - 1);
+    launch(chain_sender(next.step), next.step_size, next);
+    return;
+  }
+  ++window_.collectives_completed;
+  ++collectives_total_;
+}
+
+}  // namespace hicc::workload

@@ -1,0 +1,129 @@
+// hicc-lint: hotpath
+//
+// The open-loop workload engine: one per receiver host, generating
+// flow arrivals (workload/dist.h) onto recyclable flow-pool slots
+// (workload/flow_pool.h) and recording completions into mergeable
+// quantile sketches (common/sketch.h).
+//
+// Lifecycle of one flow: arrival event -> acquire a slot of the
+// target sender's class -> ReceiverHost::issue_open_read() (the read
+// request travels the real fabric + transport + full receiver stack)
+// -> the receiver's read-complete hook fires -> FCT and slowdown are
+// sketched, the slot is released. Collective patterns chain dependent
+// steps through the same path. The steady state allocates nothing:
+// slots, chains, and sketch buckets are all fixed at construction, so
+// memory is O(max_active), never O(total flows).
+//
+// Determinism: the engine runs entirely on its receiver's partition
+// simulator and draws all randomness from its own forked Rng, so
+// cluster runs stay bitwise identical for any --parallel=N
+// (docs/WORKLOADS.md, docs/PARALLELISM.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sketch.h"
+#include "common/units.h"
+#include "host/receiver_host.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "workload/dist.h"
+#include "workload/flow_pool.h"
+#include "workload/workload.h"
+
+namespace hicc::workload {
+
+/// Windowed workload accounting (totals since begin_window()).
+struct WorkloadWindow {
+  std::int64_t flows_started = 0;
+  std::int64_t flows_completed = 0;
+  std::int64_t pool_exhausted = 0;
+  std::int64_t collectives_completed = 0;
+};
+
+/// One receiver's open-loop arrival engine.
+class WorkloadEngine {
+ public:
+  /// Everything the engine is wired to. `target_flows` is this
+  /// engine's share of WorkloadParams::target_flows (0 = unbounded).
+  /// `base_rtt` + `link_rate` define the ideal FCT used as the
+  /// slowdown denominator: ideal(b) = base_rtt + b / link_rate.
+  struct Wiring {
+    sim::Simulator* sim = nullptr;
+    host::ReceiverHost* receiver = nullptr;
+    int num_senders = 1;
+    int receiver_index = 0;
+    std::int64_t target_flows = 0;
+    TimePs base_rtt = TimePs::from_us(10);
+    BitRate link_rate = BitRate::gbps(100.0);
+  };
+
+  /// Registers trace probes when `tracer` is non-null (names in
+  /// docs/OBSERVABILITY.md) and installs the receiver's read-complete
+  /// and host-delay-sketch hooks.
+  WorkloadEngine(const WorkloadParams& params, Wiring wiring, Rng rng,
+                 trace::Tracer* tracer);
+
+  WorkloadEngine(const WorkloadEngine&) = delete;
+  WorkloadEngine& operator=(const WorkloadEngine&) = delete;
+
+  /// Schedules the first arrival; call once, alongside receiver start.
+  void start();
+
+  /// Resets the measurement window (sketches + windowed counters).
+  void begin_window();
+
+  [[nodiscard]] const WorkloadWindow& window() const { return window_; }
+  [[nodiscard]] const QuantileSketch& fct_us() const { return fct_us_; }
+  [[nodiscard]] const QuantileSketch& slowdown() const { return slowdown_; }
+  [[nodiscard]] const QuantileSketch& host_delay_us() const { return host_delay_us_; }
+  [[nodiscard]] int active_flows() const { return pool_.active(); }
+  [[nodiscard]] std::int64_t injected_total() const { return injected_total_; }
+  [[nodiscard]] const FlowPool& pool() const { return pool_; }
+
+ private:
+  /// One collective's dependency chain, carried by its current slot.
+  struct Chain {
+    std::int16_t remaining = 0;  // dependent steps still to run
+    std::int16_t step = 0;       // index of the step now in flight
+    std::int16_t total = 0;      // 0 for non-collective flows
+    Bytes step_size{};
+  };
+
+  void schedule_next();
+  void on_arrival();
+  void launch(int sender, Bytes size, Chain chain);
+  void on_complete(std::int32_t slot, TimePs issued_at);
+  [[nodiscard]] int chain_sender(int step) const;
+  [[nodiscard]] double ideal_fct_us(Bytes size) const;
+
+  WorkloadParams params_;
+  Wiring w_;
+  Rng rng_;          // sizes + sender choices
+  ArrivalProcess arrival_;  // owns its forked gap Rng
+  FlowPool pool_;
+  FlowSizeDist size_dist_;
+  int tree_rounds_ = 1;
+  double base_rtt_us_ = 0.0;
+  double us_per_byte_ = 0.0;
+
+  /// Per-slot state, fixed at construction (index == slot id).
+  std::vector<FlowHandle> handles_;
+  std::vector<Bytes> slot_size_;
+  std::vector<Chain> chains_;
+
+  QuantileSketch fct_us_;
+  QuantileSketch slowdown_;
+  QuantileSketch host_delay_us_;
+  WorkloadWindow window_;
+  /// Run-total counters (never reset; drive target_flows + probes).
+  std::int64_t injected_total_ = 0;
+  std::int64_t completed_total_ = 0;
+  std::int64_t exhausted_total_ = 0;
+  std::int64_t collectives_total_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace hicc::workload

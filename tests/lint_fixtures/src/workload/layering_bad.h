@@ -1,0 +1,15 @@
+// Fixture: the workload layer sits below core (core wires engines into
+// ClusterExperiment, never the reverse), and every file under
+// src/workload must opt into the hot-path rule family -- a million-flow
+// run lives or dies on its per-flow costs.
+#pragma once
+
+#include "core/cluster.h"
+
+namespace hicc::workload {
+
+struct UpwardDependency {
+  int leaks_core_types = 0;
+};
+
+}  // namespace hicc::workload
