@@ -75,6 +75,8 @@ LAYER_DAG = {
     "fault": {"sim", "trace", "net", "nic", "pcie", "iommu", "mem", "host",
               "transport"},
     "sweep": {"sim", "trace", "core", "fault"},
+    # Offline analyzer (tools/hicc_analyze); a leaf like common.
+    "analyze": set(),
 }
 
 # Every C++ file under these src/ subdirs must carry the hotpath marker.
@@ -688,18 +690,29 @@ def load_baseline(path):
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__.splitlines()[0], allow_abbrev=False)
-    ap.add_argument("paths", nargs="+")
+    ap.add_argument("paths", nargs="*")
     ap.add_argument("--strict", action="store_true",
                     help="also fail on stale baseline/suppressions (CI mode)")
     ap.add_argument("--baseline", default=None)
     ap.add_argument("--write-baseline", action="store_true")
     ap.add_argument("--root", default=None)
     ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--dump-dag", action="store_true",
+                    help="print the layering DAG (same format as "
+                         "hicc_analyze --dump-dag) and exit")
     args = ap.parse_args()
 
     if args.list_rules:
         print("\n".join(ALL_RULES))
         return 0
+
+    if args.dump_dag:
+        for mod in sorted(LAYER_DAG):
+            print(f"{mod}:" + "".join(f" {d}" for d in sorted(LAYER_DAG[mod])))
+        return 0
+
+    if not args.paths:
+        ap.error("paths required unless --list-rules/--dump-dag")
 
     root = os.path.abspath(
         args.root or os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
@@ -783,6 +796,10 @@ def main():
         for ctx in contexts:
             for line, rules in sorted(ctx.line_allows.items()):
                 for rule in sorted(rules):
+                    # ana-* belongs to hicc_analyze; it polices its own
+                    # suppressions (and ignores ours in turn).
+                    if rule.startswith("ana-"):
+                        continue
                     if (line, rule) not in ctx.used_allows:
                         print(f"{ctx.path}:{line}:1: lint-unused-suppression: "
                               f"allow({rule}) no longer matches a finding; "

@@ -1,0 +1,71 @@
+// Whole-program semantic analyzer, layer 5: the analysis driver.
+//
+// run() loads and lexes every C++ file under the requested paths,
+// builds the include graph and the approximate call graph, and applies
+// the rule set:
+//
+//   ana-include-cycle      include cycles
+//   ana-layer-transitive   include edges outside the layering DAG's
+//                          transitive closure
+//   ana-include-unused     direct includes providing nothing the
+//                          includer mentions (warning-level advisory)
+//   ana-hot-alloc-reach    allocation sites reachable from functions
+//                          in hotpath-marked files, where the sink
+//                          lives in a file the per-line linter's hot
+//                          rules do not cover
+//   ana-det-reach          wall-clock / global-RNG / unordered-
+//                          iteration / pointer-keyed-ordering sites
+//                          reachable (>= 1 call hop) from functions
+//                          defined in src/sim -- the simulator entry
+//                          points
+//   ana-par-global-reach   references to namespace-scope mutable
+//                          variables from functions reachable from
+//                          partition-module seams
+//
+// Call edges are layering-aware: a call in module M only resolves to
+// definitions in M, common, or M's transitive DAG closure, which is
+// what keeps an approximate name-keyed call graph from inventing
+// cross-module edges the build would reject.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/report.h"
+
+namespace hicc::analyze {
+
+struct Options {
+  std::string root;                // directory containing src/ (default ".")
+  std::vector<std::string> paths;  // files/dirs to scan, relative to cwd
+  std::string baseline_path;       // "" -> <root>/scripts/hicc_analyze_baseline.txt
+  bool strict = false;             // fail on stale baseline/suppressions
+};
+
+struct Result {
+  std::vector<Diagnostic> findings;  // fresh errors (and, under --strict,
+                                     // ana-unused-suppression), sorted
+  std::vector<Diagnostic> warnings;  // advisory diagnostics, sorted
+  std::vector<std::string> stale_baseline;  // unmatched baseline keys
+  std::vector<std::string> all_error_keys;  // pre-baseline keys (--write-baseline)
+  ReportStats stats;
+  bool failed = false;       // exit-1 condition (strict folds in staleness)
+  bool io_error = false;     // a path argument did not exist
+  std::string io_message;
+};
+
+/// Runs the full analysis. Deterministic: same tree, same output.
+Result run(const Options& opts);
+
+/// Renders the human-readable output exactly the way hicc_lint does:
+/// sorted diagnostics, then the summary / staleness / OK lines.
+std::string format_text(const Result& r, bool strict);
+
+/// The analyzer's copy of the layering DAG as "module: dep dep ..."
+/// lines (sorted), for the DAG lockstep test.
+std::string dump_dag();
+
+/// Sorted rule ids (--list-rules).
+std::vector<std::string> rule_ids();
+
+}  // namespace hicc::analyze

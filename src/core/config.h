@@ -9,7 +9,7 @@
 
 #include "common/units.h"
 #include "fault/script.h"
-#include "host/receiver_host.h"
+#include "host/rx_thread.h"
 #include "iommu/iommu.h"
 #include "mem/ddio.h"
 #include "mem/dram.h"

@@ -2,8 +2,6 @@
 
 #include <cassert>
 
-#include "transport/swift.h"
-
 namespace hicc {
 
 Experiment::Experiment(ExperimentConfig cfg) : cfg_(cfg), rng_(cfg.seed) {

@@ -26,7 +26,6 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "common/stats.h"
 #include "common/units.h"
 #include "iommu/iommu.h"
 #include "iommu/lru_cache.h"

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "sim/b.h"
+
+struct A {
+  B* peer = nullptr;
+};

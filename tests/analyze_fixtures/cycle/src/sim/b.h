@@ -1,0 +1,7 @@
+#pragma once
+
+#include "sim/a.h"
+
+struct B {
+  A* peer = nullptr;
+};

@@ -1,0 +1,7 @@
+#pragma once
+
+#include <chrono>
+
+inline long backoff_ns(int tries) {
+  return std::chrono::steady_clock::now().time_since_epoch().count() * tries;
+}

@@ -1,0 +1,5 @@
+#pragma once
+
+#include "common/backoff.h"
+
+inline long retry_pause(int tries) { return backoff_ns(tries); }

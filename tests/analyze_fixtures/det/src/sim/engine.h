@@ -1,0 +1,7 @@
+#pragma once
+
+#include "common/retry.h"
+
+struct Engine {
+  long step() { return retry_pause(3); }
+};

@@ -1,0 +1,11 @@
+#pragma once
+
+#include <vector>
+
+class FrameStager {
+ public:
+  void stage_frame(int len) { staged_.push_back(len); }
+
+ private:
+  std::vector<int> staged_;
+};

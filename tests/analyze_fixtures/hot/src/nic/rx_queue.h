@@ -1,0 +1,12 @@
+// hicc-lint: hotpath
+#pragma once
+
+#include "net/frames.h"
+
+class RxQueue {
+ public:
+  void poll() { stager_.stage_frame(7); }
+
+ private:
+  FrameStager stager_;
+};

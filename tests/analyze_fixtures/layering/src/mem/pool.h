@@ -1,0 +1,5 @@
+#pragma once
+
+struct Pool {
+  int pages = 0;
+};

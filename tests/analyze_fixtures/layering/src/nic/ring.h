@@ -1,0 +1,5 @@
+#pragma once
+
+struct Ring {
+  int slots = 0;
+};

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "mem/pool.h"
+
+struct Bridge {
+  Pool scratch;
+};

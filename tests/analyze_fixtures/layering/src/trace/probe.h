@@ -1,0 +1,7 @@
+#pragma once
+
+#include "sim/bridge.h"
+
+struct Probe {
+  Bridge* bridge = nullptr;
+};

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "nic/ring.h"
+
+struct Gen {
+  Ring ring;
+};

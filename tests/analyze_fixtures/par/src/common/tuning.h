@@ -1,0 +1,3 @@
+#pragma once
+
+inline int g_spin_budget = 64;

@@ -1,0 +1,5 @@
+#pragma once
+
+#include "common/tuning.h"
+
+inline void drain_budget() { g_spin_budget -= 1; }

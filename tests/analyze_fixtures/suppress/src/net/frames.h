@@ -1,0 +1,14 @@
+#pragma once
+
+#include <vector>
+
+class FrameStager {
+ public:
+  void stage_frame(int len) {
+    // hicc-lint: allow(ana-hot-alloc-reach) -- fixture: growth is amortized
+    staged_.push_back(len);
+  }
+
+ private:
+  std::vector<int> staged_;
+};

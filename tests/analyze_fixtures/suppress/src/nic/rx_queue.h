@@ -1,0 +1,13 @@
+// hicc-lint: hotpath
+#pragma once
+
+#include "net/frames.h"
+
+class RxQueue {
+ public:
+  // hicc-lint: allow(ana-include-cycle) -- stale on purpose
+  void poll() { stager_.stage_frame(7); }
+
+ private:
+  FrameStager stager_;
+};

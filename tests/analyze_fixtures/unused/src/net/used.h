@@ -1,0 +1,5 @@
+#pragma once
+
+struct Frame {
+  int len = 0;
+};

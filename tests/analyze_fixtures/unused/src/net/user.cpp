@@ -1,0 +1,4 @@
+#include "net/unused.h"
+#include "net/used.h"
+
+int frame_len(const Frame& f) { return f.len; }

@@ -1,0 +1,174 @@
+// Whole-program analyzer self-test: seeded fixture trees under
+// tests/analyze_fixtures/, one per rule family, each pinned to an
+// exact golden diagnostic, plus the baseline/suppression workflow and
+// the strict-mode clean check on the real src/ tree (the analyzer's
+// equivalent of lint_test's strict run).
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyze/analyzer.h"
+#include "analyze/report.h"
+
+namespace hicc::analyze {
+namespace {
+
+Options fixture_opts(const std::string& name) {
+  Options opts;
+  opts.root = std::string(HICC_ANALYZE_FIXTURES) + "/" + name;
+  opts.paths = {"src"};
+  opts.baseline_path = "/dev/null";  // fixtures never carry a baseline
+  return opts;
+}
+
+TEST(AnalyzeIncludeGraph, CycleIsOneExactDiagnostic) {
+  Result res = run(fixture_opts("cycle"));
+  ASSERT_EQ(res.findings.size(), 1u);
+  EXPECT_EQ(res.findings[0].text(),
+            "src/sim/b.h:3:11: ana-include-cycle: include cycle: "
+            "src/sim/a.h -> src/sim/b.h -> src/sim/a.h; "
+            "headers must form a DAG (DESIGN.md §9)");
+  EXPECT_TRUE(res.failed);
+}
+
+TEST(AnalyzeIncludeGraph, LayeringUsesTransitiveClosure) {
+  // sim -> mem is flagged; workload -> nic is NOT (nic is reachable
+  // through host in the DAG's closure even though it is not a direct
+  // dependency of workload).
+  Result res = run(fixture_opts("layering"));
+  ASSERT_EQ(res.findings.size(), 1u);
+  EXPECT_EQ(res.findings[0].text(),
+            "src/sim/bridge.h:3:11: ana-layer-transitive: src/sim must not "
+            "depend on src/mem even transitively (closure: common, sim; "
+            "DESIGN.md §9 DAG)");
+}
+
+TEST(AnalyzeIncludeGraph, UnusedDirectIncludeIsWarningOnly) {
+  Result res = run(fixture_opts("unused"));
+  EXPECT_TRUE(res.findings.empty());
+  ASSERT_EQ(res.warnings.size(), 1u);
+  EXPECT_EQ(res.warnings[0].text(),
+            "src/net/user.cpp:1:11: ana-include-unused: unused direct "
+            "include \"net/unused.h\": nothing it provides is referenced in "
+            "this file (advisory -- remove it, or keep it with an allow and "
+            "a why)");
+  EXPECT_FALSE(res.failed);  // advisory never fails the run
+}
+
+TEST(AnalyzeReachability, HotAllocThroughHelperInOtherFile) {
+  // The planted allocation lives in src/net/frames.h -- a file with no
+  // hotpath marker, invisible to hicc_lint's hot rules -- and is
+  // reached only through the call RxQueue::poll -> stage_frame across
+  // the nic/net module boundary.
+  Result res = run(fixture_opts("hot"));
+  ASSERT_EQ(res.findings.size(), 1u);
+  EXPECT_EQ(res.findings[0].text(),
+            "src/net/frames.h:7:39: ana-hot-alloc-reach: allocation "
+            "(staged_.push_back) reachable from hot-path function "
+            "'RxQueue::poll' via RxQueue::poll -> FrameStager::stage_frame; "
+            "steady state must be allocation-free (DESIGN.md §8)");
+  EXPECT_EQ(res.findings[0].chain,
+            (std::vector<std::string>{"src/nic/rx_queue.h:RxQueue::poll",
+                                      "src/net/frames.h:FrameStager::stage_frame"}));
+}
+
+TEST(AnalyzeReachability, DeterminismTaintCrossesTwoHops) {
+  Result res = run(fixture_opts("det"));
+  ASSERT_EQ(res.findings.size(), 1u);
+  EXPECT_EQ(res.findings[0].text(),
+            "src/common/backoff.h:6:37: ana-det-reach: nondeterminism source "
+            "(steady_clock::now) reachable from sim entry 'Engine::step' via "
+            "Engine::step -> retry_pause -> backoff_ns; runs must be a pure "
+            "function of the seed (DESIGN.md §7)");
+}
+
+TEST(AnalyzeReachability, MutableGlobalFromPartitionSeam) {
+  Result res = run(fixture_opts("par"));
+  ASSERT_EQ(res.findings.size(), 1u);
+  EXPECT_EQ(res.findings[0].text(),
+            "src/host/seam.h:5:30: ana-par-global-reach: mutable global "
+            "'g_spin_budget' (src/common/tuning.h:3) referenced by "
+            "'drain_budget', reachable from partition seam 'drain_budget' "
+            "via drain_budget; partition callbacks must not share unguarded "
+            "state (docs/PARALLELISM.md)");
+}
+
+TEST(AnalyzeSuppressions, HonoredAllowSilencesFinding) {
+  // Same planted allocation as the hot fixture, but the sink line
+  // carries an allow(ana-hot-alloc-reach) with a justification.
+  Result res = run(fixture_opts("suppress"));
+  EXPECT_TRUE(res.findings.empty());
+  EXPECT_EQ(res.stats.suppressions_used, 1);
+  EXPECT_FALSE(res.failed);
+}
+
+TEST(AnalyzeSuppressions, StaleAllowFailsStrict) {
+  Options opts = fixture_opts("suppress");
+  opts.strict = true;
+  Result res = run(opts);
+  ASSERT_EQ(res.findings.size(), 1u);
+  EXPECT_EQ(res.findings[0].text(),
+            "src/nic/rx_queue.h:9:1: ana-unused-suppression: "
+            "allow(ana-include-cycle) no longer matches a finding; "
+            "remove it");
+  EXPECT_TRUE(res.failed);
+}
+
+TEST(AnalyzeBaseline, GrandfatherThenStrictCleanRoundTrip) {
+  // write_baseline from a failing run; the rerun is baselined-clean,
+  // including under --strict (no stale entries).
+  Result first = run(fixture_opts("hot"));
+  ASSERT_EQ(first.all_error_keys.size(), 1u);
+  std::string path = testing::TempDir() + "analyze_baseline_roundtrip.txt";
+  ASSERT_TRUE(write_baseline(path, first.all_error_keys));
+
+  Options opts = fixture_opts("hot");
+  opts.baseline_path = path;
+  opts.strict = true;
+  Result second = run(opts);
+  EXPECT_TRUE(second.findings.empty());
+  EXPECT_EQ(second.stats.baselined, 1);
+  EXPECT_TRUE(second.stale_baseline.empty());
+  EXPECT_FALSE(second.failed);
+}
+
+TEST(AnalyzeReport, JsonShapeIsDeterministic) {
+  Result res = run(fixture_opts("hot"));
+  std::string a = to_json(res.findings, res.stats);
+  std::string b = to_json(res.findings, res.stats);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"schema\": \"hicc.analysis.v1\""), std::string::npos);
+  EXPECT_NE(a.find("\"files\": 2"), std::string::npos);
+  EXPECT_NE(a.find("\"call_edges\": 1"), std::string::npos);
+  EXPECT_NE(a.find("\"rule\": \"ana-hot-alloc-reach\""), std::string::npos);
+  EXPECT_NE(a.find("\"severity\": \"error\""), std::string::npos);
+  EXPECT_NE(a.find("\"chain\": [\"src/nic/rx_queue.h:RxQueue::poll\", "
+                   "\"src/net/frames.h:FrameStager::stage_frame\"]"),
+            std::string::npos);
+}
+
+TEST(AnalyzeReport, RuleCatalogIsSorted) {
+  std::vector<std::string> ids = rule_ids();
+  EXPECT_EQ(ids.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+// The analyzer's own gate on the real tree: src/ must be strict-clean
+// against the checked-in baseline (mirrors lint_test's strict run).
+TEST(AnalyzeRepo, SrcIsStrictClean) {
+  Options opts;
+  opts.root = HICC_REPO_ROOT;
+  opts.paths = {"src"};
+  opts.strict = true;
+  Result res = run(opts);
+  EXPECT_TRUE(res.findings.empty()) << format_text(res, /*strict=*/true);
+  EXPECT_FALSE(res.failed) << format_text(res, /*strict=*/true);
+  EXPECT_GT(res.stats.functions, 500);   // the index is real, not empty
+  EXPECT_GT(res.stats.call_edges, 1000);
+}
+
+}  // namespace
+}  // namespace hicc::analyze

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""DAG lockstep test: one layering DAG, three copies, zero drift.
+
+The module dependency DAG lives in three places that cannot be merged:
+scripts/hicc_lint.py (LAYER_DAG, direct-include rule), the analyzer's
+src/analyze/graph.cpp (transitive-closure and cycle rules), and the
+machine-parseable ```layer-dag block in DESIGN.md §9 (the human
+contract). This test pins all three to the same canonical dump --
+"module: dep dep ..." lines, modules and deps sorted -- so editing one
+without the others fails ctest instead of silently forking the rules.
+
+Usage: dag_lockstep_test.py <path-to-hicc_analyze-binary>
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def fail(msg):
+    print(f"dag_lockstep_test: FAIL: {msg}")
+    sys.exit(1)
+
+
+def dump(label, argv):
+    proc = subprocess.run(argv, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"{label} exited {proc.returncode}: {proc.stderr.strip()}")
+    return [line.rstrip() for line in proc.stdout.splitlines() if line.strip()]
+
+
+def design_dag():
+    path = os.path.join(ROOT, "DESIGN.md")
+    with open(path) as f:
+        text = f.read()
+    m = re.search(r"```layer-dag\n(.*?)```", text, re.DOTALL)
+    if not m:
+        fail("DESIGN.md has no ```layer-dag block")
+    return [line.rstrip() for line in m.group(1).splitlines() if line.strip()]
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: dag_lockstep_test.py <hicc_analyze binary>")
+    analyzer = sys.argv[1]
+
+    lint = dump("hicc_lint.py --dump-dag",
+                [sys.executable, os.path.join(ROOT, "scripts", "hicc_lint.py"),
+                 "--dump-dag"])
+    ana = dump("hicc_analyze --dump-dag", [analyzer, "--dump-dag"])
+    design = design_dag()
+
+    for label, got in (("hicc_analyze", ana), ("DESIGN.md", design)):
+        if got != lint:
+            print(f"dag_lockstep_test: {label} DAG differs from hicc_lint.py:")
+            for line in sorted(set(lint) ^ set(got)):
+                side = "lint only" if line in set(lint) else f"{label} only"
+                print(f"  [{side}] {line}")
+            fail(f"{label} is out of lockstep")
+
+    # Sanity: the dump is well-formed and canonically ordered, so a
+    # future format change cannot hide a content drift.
+    mods = [line.split(":", 1)[0] for line in lint]
+    if mods != sorted(mods):
+        fail("dump modules are not sorted")
+    known = set(mods)
+    for line in lint:
+        mod, _, deps = line.partition(":")
+        dep_list = deps.split()
+        if dep_list != sorted(dep_list):
+            fail(f"deps of {mod} are not sorted")
+        for d in dep_list:
+            if d not in known:
+                fail(f"{mod} depends on unknown module {d}")
+
+    print(f"dag_lockstep_test: OK ({len(mods)} modules in lockstep "
+          "across hicc_lint.py, hicc_analyze, DESIGN.md)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
